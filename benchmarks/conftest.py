@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Each benchmark regenerates one of the paper's figures/tables (see DESIGN.md's
+per-experiment index), prints the reproduced series to the terminal and also
+writes it to ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, capsys):
+    """Return a callable that both prints a table and persists it to a file."""
+
+    def _report(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def env_int(name: str, default: int) -> int:
+    """Read an integer tuning knob from the environment (e.g. REPRO_BENCH_EVENTS)."""
+    value = os.environ.get(name)
+    return int(value) if value else default

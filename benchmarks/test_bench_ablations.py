@@ -1,0 +1,67 @@
+"""Ablation benchmarks: threshold tradeoff, Theorem 3 vs Theorem 1, power of d.
+
+These regenerate the quantitative side of the design discussions in
+Sections V-VI of the paper (accuracy/complexity tradeoff of the upper bound,
+the cheap improved lower bound, and the finite-N power-of-d effect).
+
+Run with::
+
+    pytest benchmarks/test_bench_ablations.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import env_int
+
+from repro.experiments.ablations import (
+    run_improved_vs_matrix_geometric,
+    run_power_of_d_gap,
+    run_threshold_sweep,
+)
+
+EVENTS = env_int("REPRO_BENCH_EVENTS", 120_000)
+
+
+def test_upper_bound_threshold_sweep(benchmark, report):
+    """A1: bound tightness and block size as the threshold T grows (N=3, SQ(2), rho=0.8)."""
+    result = benchmark.pedantic(
+        run_threshold_sweep,
+        kwargs=dict(num_servers=3, d=2, utilization=0.8, thresholds=(1, 2, 3, 4, 5), simulation_events=EVENTS),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_threshold_sweep", result.as_table())
+    finite_uppers = [u for u in result.upper_bounds if math.isfinite(u)]
+    assert finite_uppers == sorted(finite_uppers, reverse=True)
+    assert result.block_sizes == sorted(result.block_sizes)
+    assert all(lower <= result.simulation * 1.05 for lower in result.lower_bounds)
+
+
+def test_improved_vs_matrix_geometric(benchmark, report):
+    """A2: Theorem 3 (scalar tail) against Theorem 1 (matrix-geometric tail)."""
+    result = benchmark.pedantic(
+        run_improved_vs_matrix_geometric,
+        kwargs=dict(num_servers=6, d=2, threshold=3, utilizations=(0.3, 0.5, 0.7, 0.9)),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_improved_vs_matrix", result.as_table())
+    assert result.max_absolute_difference < 1e-6
+
+
+def test_power_of_d_gap(benchmark, report):
+    """A3: the finite-N power-of-d effect (N=10, rho=0.9)."""
+    result = benchmark.pedantic(
+        run_power_of_d_gap,
+        kwargs=dict(num_servers=10, utilization=0.9, choices=(1, 2, 3), threshold=2, simulation_events=EVENTS),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_power_of_d", result.as_table())
+    assert result.simulations[0] > result.simulations[1] > result.simulations[2]
+    # The d=1 -> d=2 step captures the bulk of the improvement (power of two).
+    gain_two = result.simulations[0] - result.simulations[1]
+    gain_three = result.simulations[1] - result.simulations[2]
+    assert gain_two > gain_three

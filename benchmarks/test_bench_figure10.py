@@ -1,0 +1,92 @@
+"""Benchmark harness for Figure 10: average delay vs utilization for SQ(2).
+
+Regenerates the four panels of the paper's Figure 10 — upper bound,
+simulation, lower bound and asymptotic approximation over a utilization sweep
+for (N, T) in {(3,2), (3,3), (6,3), (12,3)}.
+
+Run with::
+
+    pytest benchmarks/test_bench_figure10.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import env_int
+
+from repro.experiments.figure10 import Figure10Config, run_figure10
+
+# The delay at high utilization converges slowly; 500k events per point keeps
+# the Monte-Carlo error of the simulation curve within a few percent (the
+# paper uses 10^8 jobs per point — raise REPRO_BENCH_EVENTS to match).
+EVENTS = env_int("REPRO_BENCH_EVENTS", 500_000)
+UTILIZATIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def _run_panel(num_servers: int, threshold: int):
+    config = Figure10Config(
+        num_servers=num_servers,
+        threshold=threshold,
+        utilizations=UTILIZATIONS,
+        simulation_events=EVENTS,
+    )
+    return run_figure10(config)
+
+
+def _check_panel(result) -> None:
+    # The defining qualitative relations of Figure 10:
+    #  * lower bound <= simulation <= upper bound (where the latter is finite),
+    #    up to the Monte-Carlo error of the simulation curve,
+    #  * all curves start near 1 at low utilization and increase,
+    #  * the asymptotic curve underestimates the simulated delay at high load.
+    assert result.sandwich_holds(slack=0.08)
+    assert result.lower_bound[0] < 1.2
+    assert result.lower_bound == sorted(result.lower_bound)
+    assert result.simulation[-1] > result.asymptotic[-1]
+
+
+def test_figure10a(benchmark, report):
+    """Panel (a): N = 3, T = 2."""
+    result = benchmark.pedantic(_run_panel, args=(3, 2), rounds=1, iterations=1)
+    report("figure10a", result.as_table())
+    _check_panel(result)
+
+
+def test_figure10b(benchmark, report):
+    """Panel (b): N = 3, T = 3 — the upper bound tightens relative to T = 2."""
+    result = benchmark.pedantic(_run_panel, args=(3, 3), rounds=1, iterations=1)
+    report("figure10b", result.as_table())
+    _check_panel(result)
+
+
+def test_figure10c(benchmark, report):
+    """Panel (c): N = 6, T = 3."""
+    result = benchmark.pedantic(_run_panel, args=(6, 3), rounds=1, iterations=1)
+    report("figure10c", result.as_table())
+    _check_panel(result)
+
+
+def test_figure10d(benchmark, report):
+    """Panel (d): N = 12, T = 3."""
+    result = benchmark.pedantic(_run_panel, args=(12, 3), rounds=1, iterations=1)
+    report("figure10d", result.as_table())
+    _check_panel(result)
+
+
+def test_figure10_upper_bound_tightens_with_threshold(benchmark, report):
+    """Panels (a) vs (b): the T=3 upper bound is tighter than the T=2 one."""
+
+    def _compare():
+        shared = dict(utilizations=(0.5, 0.6, 0.7), simulation_events=0, run_simulation=False)
+        t2 = run_figure10(Figure10Config(num_servers=3, threshold=2, **shared))
+        t3 = run_figure10(Figure10Config(num_servers=3, threshold=3, **shared))
+        return t2, t3
+
+    t2, t3 = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    lines = ["T=2 vs T=3 upper bounds (N=3, SQ(2)):", "util   upper(T=2)   upper(T=3)"]
+    for u, a, b in zip(t2.utilizations, t2.upper_bound, t3.upper_bound):
+        lines.append(f"{u:<6} {a:<12.4f} {b:<12.4f}")
+        if math.isfinite(a) and math.isfinite(b):
+            assert b <= a + 1e-9
+    report("figure10_threshold_comparison", "\n".join(lines))

@@ -1,0 +1,53 @@
+"""Benchmark harness for Figure 9: asymptotic-delay relative error vs simulation.
+
+Regenerates both panels of the paper's Figure 9 (relative error of Eq. (16)
+against finite-N simulation for d in {2, 5, 10, 25, 50}).  The number of
+simulated events per point defaults to a laptop-friendly value and can be
+raised towards the paper's 10^8 jobs with ``REPRO_BENCH_EVENTS``.
+
+Run with::
+
+    pytest benchmarks/test_bench_figure9.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from conftest import env_int
+
+from repro.experiments.figure9 import Figure9Config, run_figure9
+
+EVENTS = env_int("REPRO_BENCH_EVENTS", 120_000)
+SERVER_COUNTS = (10, 25, 50, 100, 175, 250)
+CHOICES = (2, 5, 10, 25, 50)
+
+
+def _run_panel(utilization: float):
+    config = Figure9Config(
+        utilization=utilization,
+        choices=CHOICES,
+        server_counts=SERVER_COUNTS,
+        num_events=EVENTS,
+    )
+    return run_figure9(config)
+
+
+def test_figure9a(benchmark, report):
+    """Figure 9(a): rho = 0.75."""
+    result = benchmark.pedantic(_run_panel, args=(0.75,), rounds=1, iterations=1)
+    report("figure9a", result.as_table())
+    # Qualitative shape check: the error curves are non-trivial and decay with N.
+    for d in CHOICES:
+        errors = result.relative_errors[d]
+        assert len(errors) == len(result.server_counts_for(d))
+        assert max(errors) < 60.0  # moderate utilization: errors stay modest
+
+
+def test_figure9b(benchmark, report):
+    """Figure 9(b): rho = 0.95 — the regime where the asymptotics mislead."""
+    result = benchmark.pedantic(_run_panel, args=(0.95,), rounds=1, iterations=1)
+    report("figure9b", result.as_table())
+    errors_d2 = dict(zip(result.server_counts_for(2), result.relative_errors[2]))
+    # The paper reports errors of tens of percent for small N at rho=0.95 and
+    # a clear decay towards large N.
+    assert errors_d2[10] > 10.0
+    assert errors_d2[250] < errors_d2[10]

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Accuracy/complexity tradeoff of the bounds as the threshold T grows.
+
+The paper observes (Section V) that the upper bound tightens quickly with the
+threshold ``T`` but that the QBD block size ``C(N+T-1, T)`` — and hence the
+cost of the matrix-geometric solve — grows exponentially.  This example makes
+that tradeoff concrete for a 3-server SQ(2) system and also reports how long
+each solve took, plus the (cheap) Theorem 3 lower bound for comparison.
+
+Run with::
+
+    python examples/bound_accuracy_study.py
+"""
+
+import time
+
+from repro import SQDModel
+from repro.core.bound_models import LowerBoundModel, UpperBoundModel
+from repro.core.improved_lower import solve_improved_lower_bound
+from repro.core.qbd_solver import SolutionMethod, UnstableBoundModelError, solve_bound_model
+from repro.core.exact import solve_exact_truncated
+from repro.core.state_space import repeating_block_size
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    num_servers = 3
+    d = 2
+    utilization = 0.8
+    thresholds = (1, 2, 3, 4, 5)
+
+    model = SQDModel(num_servers=num_servers, d=d, utilization=utilization)
+    exact = solve_exact_truncated(model, buffer_size=35)
+    print(
+        f"SQ({d}) with N={num_servers} at rho={utilization}; exact mean delay "
+        f"(truncated chain oracle) = {exact.mean_delay:.4f}\n"
+    )
+
+    rows = []
+    for threshold in thresholds:
+        block_size = repeating_block_size(num_servers, threshold)
+
+        start = time.perf_counter()
+        lower_scalar = solve_improved_lower_bound(model, threshold).mean_delay
+        scalar_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        lower_blocks = LowerBoundModel(model, threshold).qbd_blocks()
+        lower_matrix = solve_bound_model(lower_blocks, method=SolutionMethod.MATRIX_GEOMETRIC).mean_delay
+        matrix_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        try:
+            upper = solve_bound_model(UpperBoundModel(model, threshold).qbd_blocks()).mean_delay
+            upper_text = f"{upper:.4f}"
+        except UnstableBoundModelError:
+            upper_text = "unstable"
+        upper_seconds = time.perf_counter() - start
+
+        rows.append(
+            [
+                threshold,
+                block_size,
+                f"{lower_scalar:.4f}",
+                f"{lower_matrix:.4f}",
+                upper_text,
+                f"{scalar_seconds*1e3:.1f}",
+                f"{matrix_seconds*1e3:.1f}",
+                f"{upper_seconds*1e3:.1f}",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "T",
+                "block size",
+                "lower (Thm 3)",
+                "lower (Thm 1)",
+                "upper (Thm 1)",
+                "ms Thm3",
+                "ms Thm1 lower",
+                "ms upper",
+            ],
+            rows,
+            title="Bound accuracy and cost vs threshold T",
+        )
+    )
+
+    print("\nReading:")
+    print("  * Both lower-bound methods agree to numerical precision; Theorem 3 is")
+    print("    the cheaper route because it skips the R-matrix computation.")
+    print("  * The upper bound may be unstable (drift condition fails) for small T")
+    print("    at this utilization and tightens as T grows, at an exponentially")
+    print("    growing block size — the tradeoff the paper highlights.")
+    print("  * All bounds sandwich the exact oracle value printed above.")
+
+
+if __name__ == "__main__":
+    main()

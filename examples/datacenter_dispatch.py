@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Dimensioning a small dispatcher tier: how many choices d are enough?
+
+Scenario (the paper's motivating setting): a data-center front end dispatches
+requests to a modest pool of workers.  Polling more workers per request (a
+larger ``d``) lowers the response time but costs one round of feedback
+messages per polled worker.  This example sweeps ``d`` for a finite pool and
+shows the delay/feedback tradeoff, using the job-level discrete-event
+simulator (so non-exponential service could be plugged in) together with the
+finite-regime lower bound.
+
+Run with::
+
+    python examples/datacenter_dispatch.py
+"""
+
+from repro import SQDModel, solve_improved_lower_bound
+from repro.core.asymptotic import asymptotic_delay
+from repro.policies import PowerOfD
+from repro.simulation import ClusterSimulation
+from repro.simulation.workloads import poisson_exponential_workload
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    num_servers = 8
+    utilization = 0.9
+    threshold = 2
+    num_jobs = 60_000
+    warmup_jobs = 6_000
+
+    print(f"Worker pool: N={num_servers}, per-worker load rho={utilization}\n")
+
+    rows = []
+    for d in (1, 2, 3, 4, 8):
+        workload = poisson_exponential_workload(num_servers, utilization)
+        simulation = ClusterSimulation(
+            workload,
+            PowerOfD(d),
+            seed=101 + d,
+            warmup_jobs=warmup_jobs,
+        ).run(num_jobs)
+
+        model = SQDModel(num_servers=num_servers, d=d, utilization=utilization)
+        lower = solve_improved_lower_bound(model, threshold).mean_delay
+
+        summary = simulation.sojourn_summary
+        rows.append(
+            [
+                d,
+                d,  # feedback messages per request
+                lower,
+                simulation.mean_sojourn_time,
+                f"+/-{summary.half_width:.3f}",
+                asymptotic_delay(utilization, d),
+            ]
+        )
+
+    print(
+        format_table(
+            ["d", "msgs/job", "lower bound", "simulated delay", "95% CI", "asymptotic"],
+            rows,
+            title="Delay vs feedback cost for SQ(d) dispatching",
+        )
+    )
+
+    print("\nReading:")
+    print("  * Going from d=1 to d=2 removes most of the delay (the power of two")
+    print("    choices) at the cost of only two queue-length probes per request.")
+    print("  * Returns diminish quickly beyond d=3: polling the whole pool (JSQ,")
+    print("    d=N) buys little extra at four times the feedback cost.")
+    print("  * The asymptotic column underestimates the delay for this small pool;")
+    print("    the finite-regime lower bound is the safer planning number.")
+
+
+if __name__ == "__main__":
+    main()

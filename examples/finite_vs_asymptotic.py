@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""How misleading is the asymptotic power-of-d formula in a finite cluster?
+
+This is a reduced version of the paper's Figure 9 study: for a high
+utilization it sweeps the number of servers and reports the relative error of
+Mitzenmacher's asymptotic delay against a finite-N simulation, for two values
+of ``d``.  It also prints the finite-regime lower bound, which — unlike the
+asymptotic formula — moves with ``N``.
+
+Run with::
+
+    python examples/finite_vs_asymptotic.py
+"""
+
+from repro import SQDModel, asymptotic_delay, relative_error_percent, solve_improved_lower_bound
+from repro.simulation import simulate_sqd_ctmc
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    utilization = 0.95
+    threshold = 2
+    num_events = 300_000
+
+    print(f"Per-server utilization rho = {utilization}\n")
+
+    for d in (2, 5):
+        asymptotic = asymptotic_delay(utilization, d)
+        rows = []
+        for num_servers in (max(3, d), 10, 25, 50, 100):
+            if num_servers < d:
+                continue
+            simulation = simulate_sqd_ctmc(
+                num_servers=num_servers,
+                d=d,
+                utilization=utilization,
+                num_events=num_events,
+                seed=400 + num_servers,
+            )
+            model = SQDModel(num_servers=num_servers, d=d, utilization=utilization)
+            lower = solve_improved_lower_bound(model, threshold).mean_delay
+            rows.append(
+                [
+                    num_servers,
+                    simulation.mean_delay,
+                    lower,
+                    asymptotic,
+                    relative_error_percent(asymptotic, simulation.mean_delay),
+                ]
+            )
+        print(
+            format_table(
+                ["N", "simulated delay", "lower bound", "asymptotic", "asymptotic error %"],
+                rows,
+                title=f"SQ({d}) at rho={utilization}",
+            )
+        )
+        print()
+
+    print("Reading:")
+    print("  * The asymptotic delay is constant in N, but the true delay is visibly")
+    print("    larger for small clusters, especially at this high utilization — the")
+    print("    error can exceed tens of percent (compare the paper's Figure 9(b)).")
+    print("  * The lower bound follows the finite-N behaviour instead of ignoring it.")
+
+
+if __name__ == "__main__":
+    main()

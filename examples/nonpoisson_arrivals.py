@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Beyond Poisson: Theorem 2's sigma root and the MAP/PH/1 extension.
+
+The paper's conclusions name two extensions of its matrix-geometric
+methodology: general renewal arrivals in the improved lower bound
+(Theorem 2's ``sigma`` root instead of ``rho``) and MAP arrivals / PH service
+for the underlying queueing building blocks.  This example exercises both:
+
+1. it compares the improved lower bound of an SQ(2) cluster under Poisson,
+   Erlang (smooth) and hyperexponential (bursty) renewal arrivals of the same
+   rate, together with job-level simulations of the true systems, and
+2. it solves a MAP/PH/1 queue with bursty (MMPP) input and Erlang service,
+   showing how burstiness inflates the delay at identical utilization.
+
+Run with::
+
+    python examples/nonpoisson_arrivals.py
+"""
+
+from repro.core.improved_lower import geometric_tail_decay, solve_improved_lower_bound
+from repro.core.model import SQDModel
+from repro.markov.arrival_processes import (
+    MarkovianArrivalProcess,
+    PoissonArrivals,
+    RenewalArrivals,
+    solve_sigma,
+)
+from repro.markov.map_ph_queue import solve_map_ph_1
+from repro.markov.service_distributions import (
+    ErlangService,
+    ExponentialService,
+    HyperexponentialService,
+)
+from repro.policies import PowerOfD
+from repro.simulation import ClusterSimulation
+from repro.simulation.workloads import Workload
+from repro.utils.tables import format_table
+
+
+def sqd_under_renewal_arrivals() -> None:
+    num_servers = 4
+    utilization = 0.85
+    threshold = 3
+    total_rate = utilization * num_servers
+    model = SQDModel(num_servers=num_servers, d=2, utilization=utilization)
+
+    arrival_variants = [
+        ("Poisson", PoissonArrivals(total_rate)),
+        ("Erlang-4 renewal (smooth)", RenewalArrivals(ErlangService(stages=4, mean=1.0 / total_rate))),
+        (
+            "Hyperexponential renewal (bursty, SCV=4)",
+            RenewalArrivals(HyperexponentialService.balanced_two_phase(mean=1.0 / total_rate, scv=4.0)),
+        ),
+    ]
+
+    poisson_bound = solve_improved_lower_bound(model, threshold)
+    rows = []
+    for name, arrivals in arrival_variants:
+        sigma = solve_sigma(arrivals, service_rate=num_servers)
+        decay = geometric_tail_decay(model, arrivals)
+        workload = Workload(num_servers, arrivals, ExponentialService(1.0))
+        simulated = ClusterSimulation(workload, PowerOfD(2), seed=77, warmup_jobs=5_000).run(60_000)
+        rows.append([name, sigma, decay, simulated.mean_sojourn_time])
+
+    print(
+        format_table(
+            ["arrival process", "sigma (Thm 2)", "tail decay sigma^N", "simulated delay"],
+            rows,
+            title=(
+                f"SQ(2), N={num_servers}, rho={utilization}: renewal arrivals beyond Poisson "
+                f"(Poisson lower bound = {poisson_bound.mean_delay:.3f})"
+            ),
+        )
+    )
+    print()
+
+
+def map_ph_building_block() -> None:
+    utilization = 0.8
+    service = ErlangService(stages=2, mean=1.0)
+    smooth = PoissonArrivals(utilization / service.mean)
+    bursty = MarkovianArrivalProcess.mmpp2(
+        rate_high=1.9 * smooth.rate,
+        rate_low=0.1 * smooth.rate,
+        switch_to_low=0.02,
+        switch_to_high=0.02,
+    )
+    rows = []
+    for name, arrivals in [("Poisson", smooth), ("MMPP-2 (bursty)", bursty)]:
+        solution = solve_map_ph_1(arrivals, service)
+        rows.append([name, solution.utilization, solution.mean_waiting_time, solution.mean_sojourn_time])
+    print(
+        format_table(
+            ["arrival process", "utilization", "mean waiting time", "mean delay"],
+            rows,
+            title="MAP/PH/1 building block (Erlang-2 service): burstiness at equal load",
+        )
+    )
+
+
+def main() -> None:
+    sqd_under_renewal_arrivals()
+    map_ph_building_block()
+    print("\nReading:")
+    print("  * Smoother (Erlang) arrivals shrink sigma below rho and with it the")
+    print("    geometric tail of the lower bound; bursty arrivals do the opposite —")
+    print("    Theorem 2 quantifies exactly how much.")
+    print("  * The MAP/PH/1 solver reuses the same logarithmic-reduction machinery")
+    print("    as the SQ(d) bounds, demonstrating the extension path the paper's")
+    print("    conclusions describe.")
+
+
+if __name__ == "__main__":
+    main()

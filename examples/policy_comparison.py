@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Comparing dispatching policies on the same workload, including non-exponential service.
+
+The paper's analysis covers SQ(d) with exponential service; its future-work
+section points at more general service-time distributions.  The job-level
+simulator is distribution-agnostic, so this example compares uniform random,
+round-robin, SQ(2), JSQ, join-idle-queue and least-work-left dispatching on
+both the paper's exponential workload and a high-variance (hyperexponential)
+workload, where queue-length information alone is less informative.
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+from repro.markov.arrival_processes import PoissonArrivals
+from repro.markov.service_distributions import ExponentialService, HyperexponentialService
+from repro.policies import (
+    JoinIdleQueue,
+    JoinShortestQueue,
+    LeastWorkLeft,
+    PowerOfD,
+    RoundRobin,
+    UniformRandom,
+)
+from repro.simulation import ClusterSimulation
+from repro.simulation.workloads import Workload
+from repro.utils.tables import format_table
+
+
+def compare(workload: Workload, title: str, num_jobs: int = 50_000, warmup_jobs: int = 5_000) -> None:
+    policies = [
+        ("random (SQ(1))", UniformRandom()),
+        ("round-robin", RoundRobin()),
+        ("SQ(2)", PowerOfD(2)),
+        ("SQ(3)", PowerOfD(3)),
+        ("JSQ", JoinShortestQueue()),
+        ("join-idle-queue", JoinIdleQueue()),
+        ("least-work-left(2)", LeastWorkLeft(2)),
+    ]
+    rows = []
+    for name, policy in policies:
+        result = ClusterSimulation(workload, policy, seed=2024, warmup_jobs=warmup_jobs).run(num_jobs)
+        rows.append([name, result.mean_waiting_time, result.mean_sojourn_time])
+    print(format_table(["policy", "mean waiting time", "mean delay"], rows, title=title))
+    print()
+
+
+def main() -> None:
+    num_servers = 10
+    utilization = 0.9
+    arrival = PoissonArrivals(rate=utilization * num_servers)
+
+    exponential = Workload(num_servers, arrival, ExponentialService(1.0))
+    compare(exponential, f"Exponential service, N={num_servers}, rho={utilization} (the paper's model)")
+
+    heavy_tailed = Workload(
+        num_servers,
+        arrival,
+        HyperexponentialService.balanced_two_phase(mean=1.0, scv=10.0),
+    )
+    compare(heavy_tailed, f"Hyperexponential service (SCV=10), N={num_servers}, rho={utilization}")
+
+    print("Reading:")
+    print("  * Under exponential service, SQ(2) already captures most of JSQ's gain")
+    print("    over random dispatching — the finite-N power of two choices.")
+    print("  * Under high service-time variability, queue length is a weaker signal;")
+    print("    least-work-left (which sees remaining work) regains part of the gap,")
+    print("    and the advantage of polling more servers grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: finite-regime delay bounds for a small SQ(2) cluster.
+
+Reproduces, for one configuration, what the paper's Figure 10 shows across a
+whole utilization sweep: the asymptotic (N -> infinity) approximation can be
+noticeably off for a small cluster, while the lower/upper bounds of the paper
+sandwich the true (simulated / exactly solved) delay.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import analyze_sqd
+
+
+def main() -> None:
+    num_servers = 3
+    d = 2
+    utilization = 0.85
+    threshold = 3
+
+    print(f"SQ({d}) cluster with N={num_servers} servers at utilization rho={utilization}")
+    print(f"Bound models use imbalance threshold T={threshold}\n")
+
+    analysis = analyze_sqd(
+        num_servers=num_servers,
+        d=d,
+        utilization=utilization,
+        threshold=threshold,
+        run_simulation=True,
+        simulation_events=300_000,
+        compute_exact=True,
+        exact_buffer=30,
+    )
+
+    print(f"  asymptotic approximation (Eq. 16) : {analysis.asymptotic_delay:8.4f}")
+    print(f"  lower bound (Theorem 3)           : {analysis.lower_delay:8.4f}")
+    print(f"  exact (truncated chain)           : {analysis.exact_delay:8.4f}")
+    print(f"  simulation (CTMC, Little's law)   : {analysis.simulated_delay:8.4f}")
+    if analysis.upper_delay is not None:
+        print(f"  upper bound (Theorem 1)           : {analysis.upper_delay:8.4f}")
+    else:
+        print("  upper bound (Theorem 1)           : model unstable at this utilization/threshold")
+
+    print("\nReading:")
+    print("  * The lower bound tracks the exact delay closely (the paper calls it")
+    print("    'remarkably accurate').")
+    print("  * The asymptotic formula underestimates the delay of this 3-server")
+    print("    cluster — exactly the finite-regime gap the paper addresses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed in editable mode on environments whose
+setuptools/pip are too old for PEP 660 editable installs (no ``wheel``
+package available), via ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

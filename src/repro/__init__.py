@@ -1,0 +1,70 @@
+"""repro — randomized load balancing in finite regimes.
+
+A reproduction of *Randomized Load Balancing in Finite Regimes*
+(Godtschalk & Ciucu, ICDCS 2016): non-asymptotic stochastic lower and upper
+bounds on the mean job delay of the SQ(d) ("power of d choices") policy,
+obtained through threshold-restricted Markov chains solved with
+matrix-geometric (QBD) methods, plus the simulation and asymptotic baselines
+the paper compares against.
+
+Quickstart
+----------
+>>> from repro import analyze_sqd
+>>> result = analyze_sqd(num_servers=3, d=2, utilization=0.9, threshold=3)
+>>> result.lower_delay <= result.upper_delay  # doctest: +SKIP
+True
+
+See ``examples/`` for end-to-end scripts and ``benchmarks/`` for the
+harnesses regenerating the paper's figures.
+"""
+
+from repro.core import (
+    BoundKind,
+    BoundModelSolution,
+    DelayAnalysis,
+    LowerBoundModel,
+    SQDModel,
+    SolutionMethod,
+    UnstableBoundModelError,
+    UpperBoundModel,
+    analyze_sqd,
+    asymptotic_delay,
+    mm1_sojourn_time,
+    power_of_d_improvement,
+    relative_error_percent,
+    solve_bound_model,
+    solve_exact_truncated,
+    solve_improved_lower_bound,
+)
+from repro.policies import JoinShortestQueue, PowerOfD, UniformRandom
+from repro.simulation import ClusterSimulation, simulate_sqd_ctmc
+from repro.simulation.workloads import Workload, poisson_exponential_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SQDModel",
+    "BoundKind",
+    "BoundModelSolution",
+    "DelayAnalysis",
+    "LowerBoundModel",
+    "UpperBoundModel",
+    "SolutionMethod",
+    "UnstableBoundModelError",
+    "analyze_sqd",
+    "asymptotic_delay",
+    "mm1_sojourn_time",
+    "power_of_d_improvement",
+    "relative_error_percent",
+    "solve_bound_model",
+    "solve_exact_truncated",
+    "solve_improved_lower_bound",
+    "PowerOfD",
+    "JoinShortestQueue",
+    "UniformRandom",
+    "ClusterSimulation",
+    "simulate_sqd_ctmc",
+    "Workload",
+    "poisson_exponential_workload",
+    "__version__",
+]

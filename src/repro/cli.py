@@ -1,0 +1,151 @@
+"""Command-line interface for the library.
+
+Installed as the ``repro-lb`` console script; also runnable as
+``python -m repro.cli``.  Subcommands:
+
+* ``analyze``   — bounds / asymptotics / optional simulation for one configuration,
+* ``figure9``   — regenerate one panel of the paper's Figure 9,
+* ``figure10``  — regenerate one panel of the paper's Figure 10,
+* ``sweep``     — run a custom parameter sweep and export CSV/JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.analysis import analyze_sqd
+from repro.experiments.figure9 import Figure9Config, run_figure9
+from repro.experiments.figure10 import panel_config, run_figure10
+from repro.experiments.runner import SweepConfig, run_sweep
+from repro.utils.tables import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lb",
+        description="Finite-regime delay bounds for SQ(d) randomized load balancing (ICDCS 2016 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="bounds and baselines for one configuration")
+    analyze.add_argument("--servers", "-N", type=int, required=True, help="number of servers N")
+    analyze.add_argument("--choices", "-d", type=int, default=2, help="number of polled servers d")
+    analyze.add_argument("--utilization", "-u", type=float, required=True, help="per-server load rho")
+    analyze.add_argument("--threshold", "-T", type=int, default=3, help="imbalance threshold T of the bound models")
+    analyze.add_argument("--simulate", action="store_true", help="also run a CTMC simulation")
+    analyze.add_argument("--events", type=int, default=200_000, help="simulated events when --simulate is given")
+    analyze.add_argument("--exact", action="store_true", help="also solve the truncated exact chain (small N only)")
+
+    figure9 = subparsers.add_parser("figure9", help="relative error of the asymptotic delay vs simulation")
+    figure9.add_argument("--utilization", "-u", type=float, default=0.95, help="per-server load rho")
+    figure9.add_argument("--choices", type=int, nargs="+", default=[2, 5, 10, 25, 50])
+    figure9.add_argument("--servers", type=int, nargs="+", default=[10, 25, 50, 100, 175, 250])
+    figure9.add_argument("--events", type=int, default=120_000, help="simulated events per point")
+
+    figure10 = subparsers.add_parser("figure10", help="average delay vs utilization for SQ(2)")
+    figure10.add_argument("--panel", choices=["a", "b", "c", "d"], default="a", help="paper panel: a=(3,2) b=(3,3) c=(6,3) d=(12,3)")
+    figure10.add_argument("--events", type=int, default=120_000, help="simulated events per point")
+    figure10.add_argument("--no-simulation", action="store_true", help="skip the simulation curve")
+
+    sweep = subparsers.add_parser("sweep", help="custom (N, d, rho, T) sweep with CSV/JSON export")
+    sweep.add_argument("--servers", type=int, nargs="+", default=[3, 6])
+    sweep.add_argument("--choices", type=int, nargs="+", default=[2])
+    sweep.add_argument("--utilizations", type=float, nargs="+", default=[0.5, 0.7, 0.9])
+    sweep.add_argument("--thresholds", type=int, nargs="+", default=[2])
+    sweep.add_argument("--simulate", action="store_true")
+    sweep.add_argument("--events", type=int, default=100_000)
+    sweep.add_argument("--csv", type=str, default=None, help="write results to this CSV file")
+    sweep.add_argument("--json", type=str, default=None, help="write results to this JSON file")
+
+    return parser
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    analysis = analyze_sqd(
+        num_servers=args.servers,
+        d=args.choices,
+        utilization=args.utilization,
+        threshold=args.threshold,
+        run_simulation=args.simulate,
+        simulation_events=args.events,
+        compute_exact=args.exact,
+    )
+    rows = [
+        ["asymptotic (Eq. 16)", analysis.asymptotic_delay],
+        ["lower bound (Thm 3)", analysis.lower_delay],
+    ]
+    if analysis.exact_delay is not None:
+        rows.append(["exact (truncated)", analysis.exact_delay])
+    if analysis.simulated_delay is not None:
+        rows.append(["simulation", analysis.simulated_delay])
+    rows.append(
+        ["upper bound (Thm 1)", analysis.upper_delay if analysis.upper_delay is not None else "unstable"]
+    )
+    title = (
+        f"SQ({args.choices}) with N={args.servers}, rho={args.utilization}, T={args.threshold}: "
+        "mean delay (sojourn time)"
+    )
+    print(format_table(["method", "mean delay"], rows, title=title))
+    return 0
+
+
+def _command_figure9(args: argparse.Namespace) -> int:
+    config = Figure9Config(
+        utilization=args.utilization,
+        choices=tuple(args.choices),
+        server_counts=tuple(args.servers),
+        num_events=args.events,
+    )
+    print(run_figure9(config).as_table())
+    return 0
+
+
+def _command_figure10(args: argparse.Namespace) -> int:
+    config = panel_config(args.panel, simulation_events=args.events)
+    if args.no_simulation:
+        config = type(config)(
+            num_servers=config.num_servers,
+            threshold=config.threshold,
+            utilizations=config.utilizations,
+            simulation_events=config.simulation_events,
+            run_simulation=False,
+        )
+    print(run_figure10(config).as_table())
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    config = SweepConfig(
+        server_counts=tuple(args.servers),
+        choices=tuple(args.choices),
+        utilizations=tuple(args.utilizations),
+        thresholds=tuple(args.thresholds),
+        run_simulation=args.simulate,
+        simulation_events=args.events,
+    )
+    result = run_sweep(config)
+    print(result.as_table(title="SQ(d) finite-regime sweep"))
+    if args.csv:
+        print(f"wrote {result.to_csv(args.csv)}")
+    if args.json:
+        print(f"wrote {result.to_json(args.json)}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-lb`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": _command_analyze,
+        "figure9": _command_figure9,
+        "figure10": _command_figure10,
+        "sweep": _command_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Asymptotic (N -> infinity) delay of SQ(d) — Eq. (16) of the paper.
+
+Mitzenmacher's mean-field result: in the limit of infinitely many servers the
+mean sojourn time ("delay") of a job under SQ(d) with per-server load
+``lambda`` and unit-mean exponential service is
+
+.. math:: E[\\text{Delay}] = \\sum_{i \\ge 1} \\lambda^{(d^i - d) / (d - 1)} .
+
+For ``d = 1`` the exponent degenerates to ``i - 1`` and the sum is the M/M/1
+sojourn time ``1 / (1 - lambda)``.  The expression is *independent of N*,
+which is exactly the inaccuracy in finite regimes that the paper quantifies
+(Figure 9) and that its bounds repair (Figure 10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.utils.validation import ValidationError, check_in_range, check_integer, check_positive
+
+
+def asymptotic_delay(utilization: float, d: int, tolerance: float = 1e-14, max_terms: int = 10_000) -> float:
+    """Asymptotic mean sojourn time of SQ(d) (Eq. 16).
+
+    Parameters
+    ----------
+    utilization:
+        Per-server traffic intensity ``lambda`` (service rate 1); must be in
+        ``[0, 1)``.
+    d:
+        Number of choices; ``d >= 1``.
+    tolerance:
+        Terms smaller than this stop the summation.
+    """
+    check_in_range("utilization", utilization, 0.0, 1.0)
+    if utilization >= 1.0:
+        raise ValidationError("the asymptotic delay diverges at utilization >= 1")
+    check_integer("d", d, minimum=1)
+    if utilization == 0.0:
+        return 1.0
+    if d == 1:
+        return 1.0 / (1.0 - utilization)
+
+    total = 0.0
+    for i in range(1, max_terms + 1):
+        exponent = (d ** i - d) / (d - 1)
+        term = utilization ** exponent
+        total += term
+        if term < tolerance:
+            break
+    return total
+
+
+def asymptotic_queue_length_distribution(utilization: float, d: int, max_length: int = 200) -> List[float]:
+    """Asymptotic fraction of servers with at least ``k`` jobs, ``k = 0 .. max_length``.
+
+    Mitzenmacher's fixed point: ``s_k = lambda^{(d^k - 1)/(d - 1)}`` (with
+    ``s_0 = 1``); the mean number of jobs per server is ``sum_{k>=1} s_k`` and
+    the asymptotic delay of Eq. (16) equals that sum divided by ``lambda``.
+    """
+    check_in_range("utilization", utilization, 0.0, 1.0)
+    check_integer("d", d, minimum=1)
+    fractions = []
+    for k in range(max_length + 1):
+        if k == 0:
+            fractions.append(1.0)
+            continue
+        if d == 1:
+            exponent = k
+        else:
+            exponent = (d ** k - 1) / (d - 1)
+        fractions.append(utilization ** exponent)
+    return fractions
+
+
+def asymptotic_mean_queue_length(utilization: float, d: int, tolerance: float = 1e-14) -> float:
+    """Asymptotic mean number of jobs per server under SQ(d)."""
+    if utilization == 0:
+        return 0.0
+    return asymptotic_delay(utilization, d, tolerance=tolerance) * utilization
+
+
+def power_of_d_improvement(utilization: float, d: int) -> float:
+    """Ratio of asymptotic delays ``E[Delay | SQ(1)] / E[Delay | SQ(d)]``.
+
+    Quantifies the "power of d choices": already ``d = 2`` turns the
+    ``1/(1-lambda)`` blow-up into a doubly exponentially decaying sum.
+    """
+    check_integer("d", d, minimum=1)
+    baseline = asymptotic_delay(utilization, 1)
+    improved = asymptotic_delay(utilization, d)
+    return baseline / improved
+
+
+def relative_error_percent(approximation: float, reference: float) -> float:
+    """Relative error ``|approximation - reference| / reference`` in percent.
+
+    This is the metric plotted in Figure 9 (asymptotic approximation against
+    finite-``N`` simulation).
+    """
+    if reference == 0:
+        raise ValidationError("reference value must be non-zero")
+    return abs(approximation - reference) / abs(reference) * 100.0

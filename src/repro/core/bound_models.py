@@ -1,0 +1,372 @@
+"""The SQ(d) lower and upper bound models (Sections II-III of the paper).
+
+Both bound models restrict the ordered state space to
+
+.. math:: S = \\{ m : m_1 \\ge ... \\ge m_N, \\; m_1 - m_N \\le T \\}
+
+and *redirect* the two kinds of transitions that would leave ``S``:
+
+* an arrival into the longest-queue group while ``m_1 - m_N = T`` (it would
+  raise the imbalance to ``T + 1``), and
+* a departure from the shortest-queue group while ``m_1 - m_N = T``.
+
+The **lower bound model** redirects both to *more preferable* states in the
+precedence order of Eq. (5): the blocked arrival joins the shortest queue
+instead, and the blocked departure is taken from the longest queue instead
+(equivalently, a job "jockeys" from the longest to the shortest queue, as in
+Adan et al.'s JSQ construction).  The **upper bound model** redirects both to
+*less preferable* states: the departure from the shortest queue is simply
+blocked (wasting service capacity — this is why its stability region shrinks)
+and the arriving job joins the longest queue while a phantom job is injected
+into the shortest queue (keeping the chain inside ``S`` at the price of extra
+load).  See DESIGN.md for the full reconstruction argument; the redirection
+targets are on the correct side of the precedence order, which is all the
+stochastic-ordering proof of Section III requires.
+
+Away from the boundary the redirected dynamics are invariant under adding a
+job to every server, so the restricted chains are level-independent QBDs;
+this module also assembles their generator blocks
+``R00, R01, R10, A0, A1, A2`` in the block layout of Section IV.A.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.model import SQDModel
+from repro.core.state import (
+    State,
+    canonical_state,
+    imbalance,
+    precedes,
+    tie_groups,
+    total_jobs,
+)
+from repro.core.state_space import StateSpacePartition, build_partition
+from repro.core.transitions import arrival_transitions, departure_transitions
+from repro.utils.combinatorics import binomial
+from repro.utils.validation import check_integer
+
+
+class BoundKind(enum.Enum):
+    """Which side of the SQ(d) delay the modified chain bounds."""
+
+    LOWER = "lower"
+    UPPER = "upper"
+
+
+@dataclass(frozen=True)
+class Redirection:
+    """Record of one redirected transition (kept for introspection and tests)."""
+
+    source: State
+    original_target: State
+    redirected_target: State | None  # None means the transition is blocked
+    rate: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class QBDBlocks:
+    """Generator blocks of a bound model in the layout of Section IV.A."""
+
+    model: SQDModel
+    threshold: int
+    kind: BoundKind
+    partition: StateSpacePartition
+    R00: np.ndarray
+    R01: np.ndarray
+    R10: np.ndarray
+    A0: np.ndarray
+    A1: np.ndarray
+    A2: np.ndarray
+
+    @property
+    def block_size(self) -> int:
+        return self.partition.block_size
+
+    @property
+    def boundary_size(self) -> int:
+        return self.partition.boundary_size
+
+
+class _BoundModelBase:
+    """Shared machinery of the lower and upper bound models."""
+
+    kind: BoundKind
+
+    def __init__(self, model: SQDModel, threshold: int):
+        check_integer("threshold", threshold, minimum=1)
+        if model.num_servers < 2:
+            raise ValueError("bound models require at least two servers (N >= 2)")
+        self.model = model
+        self.threshold = int(threshold)
+
+    # ------------------------------------------------------------------ #
+    # Redirected transition structure
+    # ------------------------------------------------------------------ #
+    def contains(self, state: State) -> bool:
+        """Membership in the restricted space ``S``."""
+        return (
+            len(state) == self.model.num_servers
+            and all(state[i] >= state[i + 1] for i in range(len(state) - 1))
+            and state[-1] >= 0
+            and imbalance(state) <= self.threshold
+        )
+
+    def transition_map(self, state: State) -> Dict[State, float]:
+        """Outgoing transitions of ``state`` in the bound model, aggregated by target."""
+        rates: Dict[State, float] = {}
+        for target, rate, _ in self._transitions_with_provenance(state):
+            if target is None or target == state:
+                continue
+            rates[target] = rates.get(target, 0.0) + rate
+        return rates
+
+    def redirections(self, state: State) -> List[Redirection]:
+        """The redirected (or blocked) transitions out of ``state``."""
+        redirections = []
+        for target, rate, redirection in self._transitions_with_provenance(state):
+            if redirection is not None:
+                redirections.append(redirection)
+        return redirections
+
+    def _transitions_with_provenance(
+        self, state: State
+    ) -> List[Tuple[State | None, float, Redirection | None]]:
+        if not self.contains(state):
+            raise ValueError(f"state {state} is outside the restricted space S (T={self.threshold})")
+        results: List[Tuple[State | None, float, Redirection | None]] = []
+        for target, rate in arrival_transitions(state, self.model):
+            if imbalance(target) <= self.threshold:
+                results.append((target, rate, None))
+            else:
+                redirected = self._redirect_arrival(state)
+                results.append(
+                    (
+                        redirected,
+                        rate,
+                        Redirection(
+                            source=state,
+                            original_target=target,
+                            redirected_target=redirected,
+                            rate=rate,
+                            reason="arrival would push the imbalance above T",
+                        ),
+                    )
+                )
+        for target, rate in departure_transitions(state, self.model):
+            if imbalance(target) <= self.threshold:
+                results.append((target, rate, None))
+            else:
+                redirected = self._redirect_departure(state)
+                results.append(
+                    (
+                        redirected,
+                        rate,
+                        Redirection(
+                            source=state,
+                            original_target=target,
+                            redirected_target=redirected,
+                            rate=rate,
+                            reason="departure from the shortest queue would push the imbalance above T",
+                        ),
+                    )
+                )
+        return results
+
+    # Subclasses define where the violating transitions go.
+    def _redirect_arrival(self, state: State) -> State | None:
+        raise NotImplementedError
+
+    def _redirect_departure(self, state: State) -> State | None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # QBD block assembly
+    # ------------------------------------------------------------------ #
+    def qbd_blocks(self) -> QBDBlocks:
+        """Assemble the generator blocks of Section IV.A for this bound model."""
+        partition = build_partition(self.model.num_servers, self.threshold)
+        boundary_index = partition.boundary_index()
+        block0_index = partition.block_index(partition.block0)
+        block1_index = partition.block_index(partition.block1)
+        block2_index = partition.block_index(partition.block2)
+
+        boundary_size = partition.boundary_size
+        block_size = partition.block_size
+
+        R00 = np.zeros((boundary_size, boundary_size))
+        R01 = np.zeros((boundary_size, block_size))
+        R10 = np.zeros((block_size, boundary_size))
+        A1_from_B0 = np.zeros((block_size, block_size))
+        A0_from_B0 = np.zeros((block_size, block_size))
+        A2 = np.zeros((block_size, block_size))
+        A1 = np.zeros((block_size, block_size))
+        A0 = np.zeros((block_size, block_size))
+
+        # Boundary rows.
+        for i, state in enumerate(partition.boundary):
+            total_rate = 0.0
+            for target, rate in self.transition_map(state).items():
+                total_rate += rate
+                if target in boundary_index:
+                    R00[i, boundary_index[target]] += rate
+                elif target in block0_index:
+                    R01[i, block0_index[target]] += rate
+                else:
+                    raise RuntimeError(f"boundary state {state} reaches unexpected block via {target}")
+            R00[i, i] -= total_rate
+
+        # Rows of B0 (transitions may fall back into the boundary).
+        for i, state in enumerate(partition.block0):
+            total_rate = 0.0
+            for target, rate in self.transition_map(state).items():
+                total_rate += rate
+                if target in boundary_index:
+                    R10[i, boundary_index[target]] += rate
+                elif target in block0_index:
+                    A1_from_B0[i, block0_index[target]] += rate
+                elif target in block1_index:
+                    A0_from_B0[i, block1_index[target]] += rate
+                else:
+                    raise RuntimeError(f"B0 state {state} reaches unexpected block via {target}")
+            A1_from_B0[i, i] -= total_rate
+
+        # Rows of B1 define the level-independent blocks A2, A1, A0.
+        for i, state in enumerate(partition.block1):
+            total_rate = 0.0
+            for target, rate in self.transition_map(state).items():
+                total_rate += rate
+                if target in block0_index:
+                    A2[i, block0_index[target]] += rate
+                elif target in block1_index:
+                    A1[i, block1_index[target]] += rate
+                elif target in block2_index:
+                    A0[i, block2_index[target]] += rate
+                else:
+                    raise RuntimeError(f"B1 state {state} reaches unexpected block via {target}")
+            A1[i, i] -= total_rate
+
+        # Level independence (Eq. 9): the blocks read off B0 and B1 must agree.
+        if not np.allclose(A1_from_B0, A1, atol=1e-9):
+            raise RuntimeError("level-independence violated: A1 read from B0 and B1 differ")
+        if not np.allclose(A0_from_B0, A0, atol=1e-9):
+            raise RuntimeError("level-independence violated: A0 read from B0 and B1 differ")
+
+        return QBDBlocks(
+            model=self.model,
+            threshold=self.threshold,
+            kind=self.kind,
+            partition=partition,
+            R00=R00,
+            R01=R01,
+            R10=R10,
+            A0=A0,
+            A1=A1,
+            A2=A2,
+        )
+
+
+class LowerBoundModel(_BoundModelBase):
+    """Bound model whose mean delay is a stochastic *lower* bound for SQ(d).
+
+    Violating transitions are redirected to more preferable states:
+
+    * the arrival that would overload the longest queue joins the shortest
+      queue instead (``m + e_N``), and
+    * the departure that would underflow the shortest queue is taken from the
+      longest queue instead (``m - e_1``), which is exactly the
+      threshold-jockeying construction of Adan et al. generalized to SQ(d).
+
+    The stability condition remains ``rho < 1``.
+    """
+
+    kind = BoundKind.LOWER
+
+    def _redirect_arrival(self, state: State) -> State:
+        values = list(state)
+        values[-1] += 1
+        redirected = canonical_state(values)
+        return redirected
+
+    def _redirect_departure(self, state: State) -> State:
+        groups = tie_groups(state)
+        top_start, top_end, top_value = groups[0]
+        if top_value <= 0:
+            raise RuntimeError(f"cannot redirect a departure in the empty state {state}")
+        values = list(state)
+        values[top_end] -= 1
+        return canonical_state(values)
+
+
+class UpperBoundModel(_BoundModelBase):
+    """Bound model whose mean delay is a stochastic *upper* bound for SQ(d).
+
+    Violating transitions are redirected to less preferable states:
+
+    * the departure that would underflow the shortest queue is blocked (the
+      service is wasted), reducing the effective service capacity, and
+    * the arrival that would overload the longest queue still joins it, with
+      phantom jobs injected into every shortest-level queue so the imbalance
+      stays at ``T`` and the chain stays in ``S``.
+
+    Both rules push extra work into the system, so ``rho < 1`` is no longer
+    sufficient for stability; use
+    :func:`repro.linalg.is_qbd_positive_recurrent` (exposed through the QBD
+    solver) to check the drift condition before solving.
+    """
+
+    kind = BoundKind.UPPER
+
+    def _redirect_arrival(self, state: State) -> State:
+        # The job joins the longest queue; every queue at the shortest level
+        # receives one phantom job so that the minimum rises by one and the
+        # imbalance stays at T.  The result dominates m + e_1 in the
+        # precedence order (strictly more jobs, same longest-queue content).
+        groups = tie_groups(state)
+        bottom_start, bottom_end, _bottom_value = groups[-1]
+        values = list(state)
+        values[0] += 1
+        for position in range(bottom_start, bottom_end + 1):
+            values[position] += 1
+        return canonical_state(values)
+
+    def _redirect_departure(self, state: State) -> None:
+        return None  # blocked: the transition is dropped (self-loop)
+
+
+def make_bound_model(model: SQDModel, threshold: int, kind: BoundKind | str) -> _BoundModelBase:
+    """Factory returning the requested bound model."""
+    if isinstance(kind, str):
+        kind = BoundKind(kind.lower())
+    if kind is BoundKind.LOWER:
+        return LowerBoundModel(model, threshold)
+    if kind is BoundKind.UPPER:
+        return UpperBoundModel(model, threshold)
+    raise ValueError(f"unknown bound kind {kind!r}")
+
+
+def verify_redirections_respect_precedence(bound_model: _BoundModelBase, states: List[State]) -> bool:
+    """Check that every redirection lands on the correct side of Eq. (5).
+
+    For the lower bound every redirected target must precede the original
+    target; for the upper bound the original target must precede the
+    redirected one (a blocked departure is compared against staying in
+    place).  Used by tests and by the ordering module.
+    """
+    for state in states:
+        for redirection in bound_model.redirections(state):
+            original = redirection.original_target
+            redirected = redirection.redirected_target if redirection.redirected_target is not None else redirection.source
+            if bound_model.kind is BoundKind.LOWER:
+                if not precedes(redirected, original):
+                    return False
+            else:
+                if not precedes(original, redirected):
+                    return False
+    return True

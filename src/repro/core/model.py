@@ -1,0 +1,99 @@
+"""Parameterization of the SQ(d) model analysed in the paper.
+
+The model of Section II: ``N`` parallel FIFO servers with exponential
+service at rate ``mu`` (unit mean by the paper's convention), a Poisson
+arrival stream of total rate ``lambda * N`` into a central dispatcher, and
+the SQ(d) policy that polls ``d`` servers uniformly at random (without
+replacement) per arrival and routes the job to the least loaded polled
+server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ValidationError, check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class SQDModel:
+    """Parameters of an SQ(d) cluster.
+
+    Attributes
+    ----------
+    num_servers:
+        ``N``, the number of parallel servers.
+    d:
+        Number of servers polled per arrival; ``d = 1`` is uniform random
+        dispatching, ``d = N`` is JSQ.
+    utilization:
+        ``rho = lambda / mu``, the per-server traffic intensity.  The total
+        arrival rate is ``rho * mu * N``.
+    service_rate:
+        ``mu``; the paper fixes ``mu = 1`` (unit-mean service) and we keep
+        that default.
+    """
+
+    num_servers: int
+    d: int
+    utilization: float
+    service_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_integer("num_servers", self.num_servers, minimum=1)
+        check_integer("d", self.d, minimum=1, maximum=self.num_servers)
+        check_positive("utilization", self.utilization)
+        check_positive("service_rate", self.service_rate)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def total_arrival_rate(self) -> float:
+        """``lambda * N`` — the rate of the Poisson stream into the dispatcher."""
+        return self.utilization * self.service_rate * self.num_servers
+
+    @property
+    def per_server_arrival_rate(self) -> float:
+        """``lambda`` — the arrival rate a single server would see under random splitting."""
+        return self.utilization * self.service_rate
+
+    @property
+    def is_stable(self) -> bool:
+        """Stability condition ``rho < 1`` of the original SQ(d) system."""
+        return self.utilization < 1.0
+
+    @property
+    def is_jsq(self) -> bool:
+        """True when ``d = N`` (Join-the-Shortest-Queue)."""
+        return self.d == self.num_servers
+
+    @property
+    def is_random(self) -> bool:
+        """True when ``d = 1`` (uniform random dispatching, N independent M/M/1s)."""
+        return self.d == 1
+
+    def require_stable(self) -> None:
+        """Raise :class:`ValidationError` unless ``rho < 1``."""
+        if not self.is_stable:
+            raise ValidationError(
+                f"model is unstable: utilization {self.utilization} >= 1 (stationary analysis requires rho < 1)"
+            )
+
+    def with_utilization(self, utilization: float) -> "SQDModel":
+        """Copy of this model at a different traffic intensity (sweep helper)."""
+        return SQDModel(
+            num_servers=self.num_servers,
+            d=self.d,
+            utilization=utilization,
+            service_rate=self.service_rate,
+        )
+
+    def with_choices(self, d: int) -> "SQDModel":
+        """Copy of this model with a different number of choices ``d``."""
+        return SQDModel(
+            num_servers=self.num_servers,
+            d=d,
+            utilization=self.utilization,
+            service_rate=self.service_rate,
+        )

@@ -1,0 +1,186 @@
+"""Stochastic-ordering machinery of Section III.
+
+The paper proves that the lower/upper bound models bound the original SQ(d)
+system by a sample-path / dynamic-programming argument: a cost function
+``v_n(m)`` (expected cost over ``n`` steps of the uniformized chain) is
+monotone along the precedence order of Eq. (5), and each redirected
+transition moves to a state on the correct side of that order, so the
+modified chain's cost iterates dominate (or are dominated by) the original
+ones.
+
+This module makes that argument *executable* on small instances:
+
+* :func:`cost_function_iteration` runs the value iteration
+  ``v_{n+1}(m) = c(m) + sum_{m'} p(m, m') v_n(m')`` on the uniformized chain
+  of any transition structure;
+* :func:`verify_monotonicity_on_elementary_pairs` checks Eq. (7)
+  (``v_n(m) <= v_n(m')`` for elementary precedence pairs);
+* :func:`verify_bound_dominance` checks the final sandwich
+  ``v_n^{lower} <= v_n^{original} <= v_n^{upper}`` statewise.
+
+These are used by the test suite as numerical evidence that the reconstructed
+redirection rules (DESIGN.md) satisfy the ordering the proof requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.model import SQDModel
+from repro.core.state import State, elementary_successors, precedes, total_jobs, waiting_jobs
+from repro.core.transitions import transition_rate_map
+
+CostFunction = Callable[[State], float]
+TransitionMap = Callable[[State], Mapping[State, float]]
+
+
+def default_cost_function(state: State) -> float:
+    """The cost used for delay bounds: the number of waiting jobs in ``state``."""
+    return float(waiting_jobs(state))
+
+
+def total_jobs_cost_function(state: State) -> float:
+    """Alternative cost: total number of jobs (bounds the mean queue length)."""
+    return float(total_jobs(state))
+
+
+def uniformized_step_probabilities(
+    transition_map: Mapping[State, float],
+    uniformization_rate: float,
+    source: State,
+) -> Dict[State, float]:
+    """One-step probabilities of the uniformized chain for a single state."""
+    probabilities: Dict[State, float] = {}
+    total_rate = 0.0
+    for target, rate in transition_map.items():
+        probabilities[target] = probabilities.get(target, 0.0) + rate / uniformization_rate
+        total_rate += rate
+    self_loop = 1.0 - total_rate / uniformization_rate
+    if self_loop < -1e-9:
+        raise ValueError("uniformization rate is smaller than the total exit rate")
+    probabilities[source] = probabilities.get(source, 0.0) + max(self_loop, 0.0)
+    return probabilities
+
+
+def cost_function_iteration(
+    states: Iterable[State],
+    transitions: TransitionMap,
+    cost_function: CostFunction,
+    num_iterations: int,
+    uniformization_rate: float,
+) -> Dict[State, np.ndarray]:
+    """Run ``num_iterations`` steps of the cost (value) iteration of Section III.
+
+    Returns, for every state, the vector ``(v_0(m), v_1(m), ..., v_n(m))``.
+    Transitions leading outside the supplied state set contribute cost through
+    their target's ``v_0 = 0`` start (i.e. they are treated as absorbing with
+    zero future cost), so callers should pass a state set large enough that
+    the truncation does not affect the comparison horizon.
+    """
+    state_list: List[State] = list(states)
+    state_index = {state: i for i, state in enumerate(state_list)}
+    values = np.zeros((num_iterations + 1, len(state_list)))
+    step_probabilities: List[Dict[State, float]] = [
+        uniformized_step_probabilities(transitions(state), uniformization_rate, state) for state in state_list
+    ]
+    costs = np.array([cost_function(state) for state in state_list])
+
+    for n in range(num_iterations):
+        for i, state in enumerate(state_list):
+            accumulated = 0.0
+            for target, probability in step_probabilities[i].items():
+                j = state_index.get(target)
+                if j is not None:
+                    accumulated += probability * values[n, j]
+            values[n + 1, i] = costs[i] + accumulated
+    return {state: values[:, i].copy() for i, state in enumerate(state_list)}
+
+
+def verify_monotonicity_on_elementary_pairs(
+    model: SQDModel,
+    states: Iterable[State],
+    transitions: TransitionMap,
+    num_iterations: int = 30,
+    cost_function: CostFunction = default_cost_function,
+    tolerance: float = 1e-9,
+    max_total_jobs_for_comparison: int | None = None,
+) -> bool:
+    """Numerically check Eq. (7): ``v_n(m) <= v_n(m')`` for elementary pairs in the set.
+
+    Because the iteration is run on a *truncated* state set (transitions out
+    of the set contribute zero future cost), states close to the truncation
+    boundary have underestimated values; restrict the comparison to pairs
+    whose total job count is at most ``max_total_jobs_for_comparison`` so that
+    every value entering the comparison is exact for the chosen horizon
+    (a state with ``k`` jobs is unaffected by the truncation as long as
+    ``k + num_iterations`` stays within the enumerated set).
+    """
+    state_list = list(states)
+    state_set = set(state_list)
+    uniformization_rate = model.total_arrival_rate + model.num_servers * model.service_rate
+    values = cost_function_iteration(state_list, transitions, cost_function, num_iterations, uniformization_rate)
+    for state in state_list:
+        if max_total_jobs_for_comparison is not None and total_jobs(state) > max_total_jobs_for_comparison:
+            continue
+        for successor in elementary_successors(state):
+            if successor not in state_set:
+                continue
+            if max_total_jobs_for_comparison is not None and total_jobs(successor) > max_total_jobs_for_comparison:
+                continue
+            if np.any(values[state] > values[successor] + tolerance):
+                return False
+    return True
+
+
+def verify_bound_dominance(
+    original_values: Mapping[State, np.ndarray],
+    bound_values: Mapping[State, np.ndarray],
+    direction: str,
+    tolerance: float = 1e-9,
+    max_total_jobs_for_comparison: int | None = None,
+) -> bool:
+    """Check statewise dominance of the cost iterates of a bound model.
+
+    ``direction='upper'`` asserts ``v_n^{original} <= v_n^{bound}`` and
+    ``direction='lower'`` the reverse, for every common state and iteration.
+    ``max_total_jobs_for_comparison`` restricts the comparison to states far
+    enough from the truncation boundary of the value iteration (see
+    :func:`verify_monotonicity_on_elementary_pairs`).
+    """
+    if direction not in ("lower", "upper"):
+        raise ValueError("direction must be 'lower' or 'upper'")
+    for state, original in original_values.items():
+        if max_total_jobs_for_comparison is not None and total_jobs(state) > max_total_jobs_for_comparison:
+            continue
+        bound = bound_values.get(state)
+        if bound is None:
+            continue
+        if direction == "upper":
+            if np.any(original > bound + tolerance):
+                return False
+        else:
+            if np.any(bound > original + tolerance):
+                return False
+    return True
+
+
+def original_transition_map(model: SQDModel) -> TransitionMap:
+    """Transition map of the *original* SQ(d) chain (no threshold restriction)."""
+
+    def transitions(state: State) -> Mapping[State, float]:
+        return transition_rate_map(state, model)
+
+    return transitions
+
+
+def precedence_pairs_within(states: Iterable[State]) -> List[Tuple[State, State]]:
+    """All precedence pairs (Eq. 5) among the supplied states (for property tests)."""
+    state_list = list(states)
+    pairs: List[Tuple[State, State]] = []
+    for first in state_list:
+        for second in state_list:
+            if first != second and precedes(first, second):
+                pairs.append((first, second))
+    return pairs

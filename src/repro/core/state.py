@@ -1,0 +1,203 @@
+"""Ordered queue-length states and the precedence partial order.
+
+Following Section II of the paper, a state of the SQ(d) Markov process is
+the *sorted* vector of queue lengths ``m = (m1, ..., mN)`` with
+``m1 >= m2 >= ... >= mN``: ``m1`` is the longest queue and ``mN`` the
+shortest.  States are represented as plain tuples of ints so they can be used
+as dictionary keys.
+
+The module also implements the precedence relation of Eq. (5),
+
+.. math:: (m, m') \\in P \\iff \\sum_{i \\le j} m_i \\le \\sum_{i \\le j} m'_i
+          \\quad \\forall j,
+
+read as "``m`` is at least as preferable as ``m'``" (fewer jobs in the ``j``
+longest queues, for every ``j``), together with the elementary pair set
+``P_m`` and the decomposition of Eq. (6) used by the stochastic-ordering
+proof of Section III.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+State = Tuple[int, ...]
+
+
+# --------------------------------------------------------------------------- #
+# Construction and basic queries
+# --------------------------------------------------------------------------- #
+def canonical_state(queue_lengths: Iterable[int]) -> State:
+    """Sort raw per-server queue lengths into the canonical ordered state."""
+    values = [int(v) for v in queue_lengths]
+    if any(v < 0 for v in values):
+        raise ValueError(f"queue lengths must be non-negative, got {values}")
+    return tuple(sorted(values, reverse=True))
+
+
+def is_ordered(state: Sequence[int]) -> bool:
+    """True if ``state`` is sorted in non-increasing order with non-negative entries."""
+    return all(state[i] >= state[i + 1] for i in range(len(state) - 1)) and all(v >= 0 for v in state)
+
+
+def total_jobs(state: Sequence[int]) -> int:
+    """``#m`` — the total number of jobs in the system (in service + waiting)."""
+    return int(sum(state))
+
+
+def waiting_jobs(state: Sequence[int]) -> int:
+    """Total number of *waiting* jobs: ``sum_i max(m_i - 1, 0)``."""
+    return int(sum(max(v - 1, 0) for v in state))
+
+
+def busy_servers(state: Sequence[int]) -> int:
+    """Number of servers with at least one job."""
+    return int(sum(1 for v in state if v > 0))
+
+
+def imbalance(state: Sequence[int]) -> int:
+    """``m1 - mN`` — the spread between the longest and shortest queue."""
+    if not state:
+        return 0
+    return int(state[0] - state[-1])
+
+
+def partial_sums(state: Sequence[int]) -> Tuple[int, ...]:
+    """Prefix sums ``(m1, m1+m2, ..., #m)`` used by the precedence order."""
+    sums = []
+    running = 0
+    for value in state:
+        running += int(value)
+        sums.append(running)
+    return tuple(sums)
+
+
+def tie_groups(state: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Maximal runs of equal components as ``(start, end, value)`` (0-based, inclusive).
+
+    For ``(3, 2, 2, 0)`` the groups are ``[(0, 0, 3), (1, 2, 2), (3, 3, 0)]``.
+    The groups drive both the arrival convention (a job joining a tied group
+    is recorded at the group's *first* position) and the departure convention
+    (a departure from a tied group is recorded at the group's *last*
+    position).
+    """
+    groups: List[Tuple[int, int, int]] = []
+    n = len(state)
+    start = 0
+    while start < n:
+        end = start
+        while end + 1 < n and state[end + 1] == state[start]:
+            end += 1
+        groups.append((start, end, int(state[start])))
+        start = end + 1
+    return groups
+
+
+def increment_position(state: Sequence[int], position: int) -> State:
+    """Add one job at ``position`` and return the canonical resulting state.
+
+    By the paper's convention the position is the first index of a tie group,
+    so the result is already ordered; canonicalization is still applied as a
+    safety net for redirected transitions that add jobs elsewhere.
+    """
+    values = list(state)
+    values[position] += 1
+    return canonical_state(values)
+
+
+def decrement_position(state: Sequence[int], position: int) -> State:
+    """Remove one job at ``position`` and return the canonical resulting state."""
+    values = list(state)
+    if values[position] <= 0:
+        raise ValueError(f"cannot remove a job from empty position {position} of {tuple(state)}")
+    values[position] -= 1
+    return canonical_state(values)
+
+
+def shift_state(state: Sequence[int], levels: int) -> State:
+    """Add ``levels`` jobs to every server (the block-to-block bijection of Section IV)."""
+    if levels < 0 and min(state) + levels < 0:
+        raise ValueError("shift would make a queue length negative")
+    return tuple(int(v) + levels for v in state)
+
+
+# --------------------------------------------------------------------------- #
+# Precedence order (Eq. 5) and elementary pairs (Eq. 6)
+# --------------------------------------------------------------------------- #
+def precedes(state: Sequence[int], other: Sequence[int]) -> bool:
+    """True if ``(state, other)`` is a precedence pair of Eq. (5).
+
+    Interpreted as "``state`` is at least as preferable as ``other``": for
+    every ``j`` the ``j`` longest queues of ``state`` hold no more jobs than
+    those of ``other``.
+    """
+    if len(state) != len(other):
+        raise ValueError("states must have the same number of servers")
+    return all(s <= o for s, o in zip(partial_sums(state), partial_sums(other)))
+
+
+def strictly_precedes(state: Sequence[int], other: Sequence[int]) -> bool:
+    """True if ``precedes(state, other)`` and the states differ."""
+    return tuple(state) != tuple(other) and precedes(state, other)
+
+
+def elementary_successors(state: Sequence[int]) -> List[State]:
+    """The targets of the elementary precedence pairs ``P_m`` of the paper.
+
+    For a state ``m`` these are ``m + e_N`` and ``m + e_j - e_{j+1}`` for
+    ``j = 1, ..., N-1`` — i.e. add one job to the shortest queue, or move one
+    job one position "up" towards longer queues.  Only targets that are valid
+    ordered states are returned.
+    """
+    n = len(state)
+    successors: List[State] = []
+    plus_last = list(state)
+    plus_last[-1] += 1
+    if is_ordered(plus_last):
+        successors.append(tuple(plus_last))
+    for j in range(n - 1):
+        candidate = list(state)
+        candidate[j] += 1
+        candidate[j + 1] -= 1
+        if candidate[j + 1] >= 0 and is_ordered(candidate):
+            successors.append(tuple(candidate))
+    return successors
+
+
+def precedence_decomposition(state: Sequence[int], other: Sequence[int]) -> List[int]:
+    """The coefficients ``(s_1, ..., s_N)`` of Eq. (6).
+
+    For a precedence pair ``(m, m')`` the paper writes
+
+    .. math:: m' = m + s_N e_N + s_{N-1} (e_{N-1} - e_N) + ... + s_1 (e_1 - e_2),
+
+    where ``s_j`` is the ``j``-th partial sum of the componentwise difference.
+    All coefficients are non-negative exactly when ``(m, m')`` is a precedence
+    pair, which is how the decomposition reduces general pairs to chains of
+    elementary ones.
+    """
+    if len(state) != len(other):
+        raise ValueError("states must have the same number of servers")
+    differences = [int(o) - int(s) for s, o in zip(state, other)]
+    coefficients: List[int] = []
+    running = 0
+    for difference in differences:
+        running += difference
+        coefficients.append(running)
+    return coefficients
+
+
+def is_valid_state(state: Sequence[int], num_servers: int, threshold: int | None = None) -> bool:
+    """Membership test for the (optionally threshold-restricted) state space.
+
+    With ``threshold=None`` this checks membership in the unrestricted ordered
+    state space ``M`` of Eq. (1); with a threshold ``T`` it checks membership
+    in the restricted space ``S`` of the bound models (``m1 - mN <= T``).
+    """
+    if len(state) != num_servers:
+        return False
+    if not is_ordered(state):
+        return False
+    if threshold is not None and imbalance(state) > threshold:
+        return False
+    return True

@@ -1,0 +1,172 @@
+"""Enumeration and partition of the threshold-restricted state space.
+
+The bound models of the paper live on
+
+.. math:: S = \\{ m = (m_1, ..., m_N) : m_1 \\ge ... \\ge m_N \\ge 0,\\;
+                 m_1 - m_N \\le T \\},
+
+which is partitioned (Section IV.A) into a boundary block
+
+.. math:: B_{\\le (N-1)T} = \\{ m \\in S : \\#m \\le (N-1)T \\}
+
+and repeating blocks ``B_q`` containing the states with
+``(N-1)T + qN < \\#m <= (N-1)T + (q+1)N``.  Every repeating block has exactly
+``C(N+T-1, T)`` states and ``B_{q+1}`` is obtained from ``B_q`` by adding one
+job to every server (the shift bijection), which is what gives the generator
+its QBD structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.state import State, imbalance, shift_state, total_jobs
+from repro.utils.combinatorics import binomial, descending_tuples
+from repro.utils.validation import check_integer
+
+
+def boundary_job_limit(num_servers: int, threshold: int) -> int:
+    """Largest total job count of a boundary state: ``(N-1) * T``."""
+    return (num_servers - 1) * threshold
+
+
+def repeating_block_size(num_servers: int, threshold: int) -> int:
+    """Number of states in each repeating block: ``C(N+T-1, T)``."""
+    return binomial(num_servers + threshold - 1, threshold)
+
+
+def enumerate_restricted_states(num_servers: int, threshold: int, max_total_jobs: int) -> List[State]:
+    """All states of ``S`` with at most ``max_total_jobs`` jobs, sorted canonically.
+
+    The canonical order is by total job count, then lexicographically
+    descending; it matches the ordering used to index the QBD blocks.
+    """
+    check_integer("num_servers", num_servers, minimum=1)
+    check_integer("threshold", threshold, minimum=1)
+    check_integer("max_total_jobs", max_total_jobs, minimum=0)
+
+    states: List[State] = []
+    # A state is the shortest queue length mN plus a non-increasing offset
+    # vector delta with entries in [0, T] (delta_N = 0).
+    max_base = max_total_jobs // num_servers
+    for base in range(max_base + 1):
+        for offsets in descending_tuples(num_servers - 1, threshold):
+            state = tuple(base + offset for offset in offsets) + (base,)
+            if total_jobs(state) <= max_total_jobs:
+                states.append(state)
+    unique_states = sorted(set(states), key=_canonical_sort_key)
+    return unique_states
+
+
+def _canonical_sort_key(state: State) -> Tuple[int, Tuple[int, ...]]:
+    return (total_jobs(state), state)
+
+
+def boundary_states(num_servers: int, threshold: int) -> List[State]:
+    """The boundary block ``B_{<=(N-1)T}`` in canonical order."""
+    return enumerate_restricted_states(num_servers, threshold, boundary_job_limit(num_servers, threshold))
+
+
+def first_repeating_block(num_servers: int, threshold: int) -> List[State]:
+    """The block ``B_0``: states with ``(N-1)T < #m <= (N-1)T + N`` in canonical order.
+
+    Every state in a repeating block has all servers busy (``mN >= 1``).
+    """
+    limit = boundary_job_limit(num_servers, threshold)
+    states: List[State] = []
+    for offsets in descending_tuples(num_servers - 1, threshold):
+        offsets_total = sum(offsets)
+        # Choose the unique base level mN >= 1 placing the total in the window.
+        remaining = limit + 1 - offsets_total
+        base = max(1, -(-remaining // num_servers))  # ceil division, at least 1
+        state = tuple(base + offset for offset in offsets) + (base,)
+        if not limit < total_jobs(state) <= limit + num_servers:
+            raise RuntimeError(f"block construction failed for offsets {offsets}: got total {total_jobs(state)}")
+        states.append(state)
+    states.sort(key=_canonical_sort_key)
+    expected = repeating_block_size(num_servers, threshold)
+    if len(states) != expected or len(set(states)) != expected:
+        raise RuntimeError(
+            f"block B0 has {len(states)} states, expected C(N+T-1, T) = {expected}"
+        )
+    return states
+
+
+def repeating_block(num_servers: int, threshold: int, block_index: int) -> List[State]:
+    """The block ``B_q`` obtained by shifting ``B_0`` up by ``q`` jobs per server."""
+    check_integer("block_index", block_index, minimum=0)
+    return [shift_state(state, block_index) for state in first_repeating_block(num_servers, threshold)]
+
+
+@dataclass(frozen=True)
+class StateSpacePartition:
+    """Boundary and first repeating blocks of ``S`` with index lookups.
+
+    This is the static structure the QBD generator blocks are built on:
+    ``boundary`` indexes the rows/columns of ``R00``, ``block0`` those of
+    ``A1``/``A0``/``R10`` and ``block1`` those of the repeated level used to
+    read off the level-independent blocks.
+    """
+
+    num_servers: int
+    threshold: int
+    boundary: Tuple[State, ...]
+    block0: Tuple[State, ...]
+    block1: Tuple[State, ...]
+    block2: Tuple[State, ...]
+
+    @property
+    def block_size(self) -> int:
+        return len(self.block0)
+
+    @property
+    def boundary_size(self) -> int:
+        return len(self.boundary)
+
+    def boundary_index(self) -> Dict[State, int]:
+        return {state: i for i, state in enumerate(self.boundary)}
+
+    def block_index(self, block: Tuple[State, ...]) -> Dict[State, int]:
+        return {state: i for i, state in enumerate(block)}
+
+    def classify(self, state: State) -> Tuple[str, int]:
+        """Return ``(block_name, index)`` locating ``state`` within the partition."""
+        for name, block in (("boundary", self.boundary), ("block0", self.block0), ("block1", self.block1), ("block2", self.block2)):
+            try:
+                return name, block.index(state)
+            except ValueError:
+                continue
+        raise KeyError(f"state {state} is outside the enumerated partition")
+
+
+def build_partition(num_servers: int, threshold: int) -> StateSpacePartition:
+    """Enumerate the boundary and the first three repeating blocks of ``S``."""
+    check_integer("num_servers", num_servers, minimum=2)
+    check_integer("threshold", threshold, minimum=1)
+    boundary = tuple(boundary_states(num_servers, threshold))
+    block0 = tuple(first_repeating_block(num_servers, threshold))
+    block1 = tuple(shift_state(s, 1) for s in block0)
+    block2 = tuple(shift_state(s, 2) for s in block0)
+    return StateSpacePartition(
+        num_servers=num_servers,
+        threshold=threshold,
+        boundary=boundary,
+        block0=block0,
+        block1=block1,
+        block2=block2,
+    )
+
+
+def membership_checker(num_servers: int, threshold: int):
+    """Return a predicate testing membership in ``S`` (shape + imbalance)."""
+
+    def contains(state: State) -> bool:
+        return (
+            len(state) == num_servers
+            and all(state[i] >= state[i + 1] for i in range(num_servers - 1))
+            and state[-1] >= 0
+            and imbalance(state) <= threshold
+        )
+
+    return contains

@@ -1,0 +1,104 @@
+"""Exact SQ(d) transition rates on ordered states (Section II.A of the paper).
+
+Arrivals
+--------
+With every arrival the dispatcher polls ``d`` of the ``N`` servers uniformly
+at random without replacement.  On the ordered state the polled job joins
+position ``i`` (1-indexed) — i.e. the ``i``-th longest queue — with rate
+
+.. math:: \\lambda(m, m + e_i) = \\frac{\\binom{i-1}{d-1}}{\\binom{N}{d}} \\lambda N
+
+when all components of ``m`` are distinct.  When positions ``i .. i+j`` form
+a tie group the paper's convention places the arrival at the *first* position
+of the group, with aggregate rate
+
+.. math:: \\lambda(m, m + e_i) =
+          \\frac{\\binom{i+j}{d} - \\binom{i-1}{d}}{\\binom{N}{d}} \\lambda N .
+
+The distinct case is the special case of a singleton group (the identity
+``C(i, d) - C(i-1, d) = C(i-1, d-1)`` connects the two forms), so the group
+formula is the only one implemented.
+
+Departures
+----------
+Each busy server completes work at rate ``mu``.  On the ordered state a
+departure from a tie group of size ``g`` occurs at rate ``g * mu`` and, by
+the paper's second convention, is recorded at the *last* position of the
+group, which keeps the state sorted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.model import SQDModel
+from repro.core.state import State, decrement_position, increment_position, tie_groups
+from repro.utils.combinatorics import binomial
+
+
+def arrival_transitions(state: State, model: SQDModel) -> List[Tuple[State, float]]:
+    """Arrival transitions ``(target, rate)`` out of ``state`` under SQ(d).
+
+    The rates over all targets sum to the total arrival rate ``lambda * N``.
+    """
+    n = model.num_servers
+    d = model.d
+    if len(state) != n:
+        raise ValueError(f"state {state} does not match num_servers={n}")
+    total_combinations = binomial(n, d)
+    transitions: List[Tuple[State, float]] = []
+    for start, end, _value in tie_groups(state):
+        # 1-indexed group positions are [start+1, end+1].
+        favourable = binomial(end + 1, d) - binomial(start, d)
+        if favourable <= 0:
+            continue
+        rate = model.total_arrival_rate * favourable / total_combinations
+        transitions.append((increment_position(state, start), rate))
+    return transitions
+
+
+def departure_transitions(state: State, model: SQDModel) -> List[Tuple[State, float]]:
+    """Departure transitions ``(target, rate)`` out of ``state``.
+
+    The rates sum to ``mu`` times the number of busy servers.
+    """
+    n = model.num_servers
+    if len(state) != n:
+        raise ValueError(f"state {state} does not match num_servers={n}")
+    transitions: List[Tuple[State, float]] = []
+    for start, end, value in tie_groups(state):
+        if value == 0:
+            continue
+        group_size = end - start + 1
+        rate = model.service_rate * group_size
+        transitions.append((decrement_position(state, end), rate))
+    return transitions
+
+
+def all_transitions(state: State, model: SQDModel) -> List[Tuple[State, float]]:
+    """All outgoing transitions (arrivals then departures) of ``state``."""
+    return arrival_transitions(state, model) + departure_transitions(state, model)
+
+
+def transition_rate_map(state: State, model: SQDModel) -> Dict[State, float]:
+    """Outgoing transitions aggregated by target state."""
+    rates: Dict[State, float] = {}
+    for target, rate in all_transitions(state, model):
+        rates[target] = rates.get(target, 0.0) + rate
+    return rates
+
+
+def arrival_position_probabilities(state: State, model: SQDModel) -> Dict[int, float]:
+    """Probability that an arrival joins each (0-based, group-first) position.
+
+    Useful for tests and for the routing-probability view of the policy: the
+    probabilities over group-leading positions sum to one.
+    """
+    probabilities: Dict[int, float] = {}
+    total_combinations = binomial(model.num_servers, model.d)
+    for start, end, _value in tie_groups(state):
+        favourable = binomial(end + 1, model.d) - binomial(start, model.d)
+        if favourable <= 0:
+            continue
+        probabilities[start] = favourable / total_combinations
+    return probabilities

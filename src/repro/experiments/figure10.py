@@ -1,0 +1,149 @@
+"""Figure 10: average delay versus utilization for SQ(2).
+
+Each panel of the paper's Figure 10 plots four curves over a utilization
+sweep for SQ(2): the upper bound (Theorem 1), simulations of the true
+system, the lower bound (Theorems 1/3) and the asymptotic approximation
+(Eq. 16).  The panels differ in the number of servers and the threshold:
+
+* (a) N = 3, T = 2
+* (b) N = 3, T = 3
+* (c) N = 6, T = 3
+* (d) N = 12, T = 3
+
+Utilizations where the upper bound model violates its drift (stability)
+condition are reported as ``inf`` — this is the "different values of T change
+the stability condition for the SQ(d) upper bound" effect discussed in
+Section V.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.analysis import analyze_sqd
+from repro.core.qbd_solver import SolutionMethod
+from repro.utils.tables import format_series
+from repro.utils.validation import check_integer
+
+DEFAULT_UTILIZATIONS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+@dataclass(frozen=True)
+class Figure10Config:
+    """Parameters of one Figure 10 panel."""
+
+    num_servers: int
+    threshold: int
+    d: int = 2
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS
+    simulation_events: int = 200_000
+    seed: int = 20160627
+    run_simulation: bool = True
+    lower_bound_method: SolutionMethod = SolutionMethod.SCALAR_GEOMETRIC
+
+    def __post_init__(self) -> None:
+        check_integer("num_servers", self.num_servers, minimum=2)
+        check_integer("threshold", self.threshold, minimum=1)
+        check_integer("d", self.d, minimum=1, maximum=self.num_servers)
+
+
+@dataclass(frozen=True)
+class Figure10Result:
+    """The four delay curves of one panel."""
+
+    config: Figure10Config
+    utilizations: List[float]
+    lower_bound: List[float]
+    upper_bound: List[float]
+    simulation: List[float]
+    asymptotic: List[float]
+
+    def series(self) -> Dict[str, List[float]]:
+        return {
+            "upper": self.upper_bound,
+            "simulation": self.simulation,
+            "lower": self.lower_bound,
+            "asymptotic": self.asymptotic,
+        }
+
+    def as_table(self) -> str:
+        config = self.config
+        return format_series(
+            self.series(),
+            x_label="utilization",
+            x_values=self.utilizations,
+            title=(
+                f"Figure 10 (N={config.num_servers}, d={config.d}, T={config.threshold}): "
+                "average delay vs utilization"
+            ),
+        )
+
+    def sandwich_holds(self, slack: float = 0.0) -> bool:
+        """Check lower <= simulation <= upper on every point where all are finite."""
+        for low, sim, high in zip(self.lower_bound, self.simulation, self.upper_bound):
+            if math.isnan(sim):
+                continue
+            if low > sim * (1.0 + slack):
+                return False
+            if math.isfinite(high) and sim > high * (1.0 + slack):
+                return False
+        return True
+
+
+def run_figure10(config: Figure10Config) -> Figure10Result:
+    """Run the utilization sweep for one panel of Figure 10."""
+    lower: List[float] = []
+    upper: List[float] = []
+    simulated: List[float] = []
+    asymptotic: List[float] = []
+    utilizations = [float(u) for u in config.utilizations]
+
+    for index, utilization in enumerate(utilizations):
+        analysis = analyze_sqd(
+            num_servers=config.num_servers,
+            d=config.d,
+            utilization=utilization,
+            threshold=config.threshold,
+            lower_bound_method=config.lower_bound_method,
+            compute_upper_bound=True,
+            run_simulation=config.run_simulation,
+            simulation_events=config.simulation_events,
+            simulation_seed=config.seed + index,
+        )
+        lower.append(analysis.lower_delay)
+        upper.append(analysis.upper_delay if analysis.upper_delay is not None else math.inf)
+        simulated.append(analysis.simulated_delay if analysis.simulated_delay is not None else math.nan)
+        asymptotic.append(analysis.asymptotic_delay)
+
+    return Figure10Result(
+        config=config,
+        utilizations=utilizations,
+        lower_bound=lower,
+        upper_bound=upper,
+        simulation=simulated,
+        asymptotic=asymptotic,
+    )
+
+
+def panel_config(panel: str, simulation_events: int = 200_000, utilizations: Optional[Sequence[float]] = None) -> Figure10Config:
+    """Named configurations for the paper's four panels ('a', 'b', 'c', 'd')."""
+    panels = {
+        "a": (3, 2),
+        "b": (3, 3),
+        "c": (6, 3),
+        "d": (12, 3),
+    }
+    if panel not in panels:
+        raise ValueError(f"unknown Figure 10 panel {panel!r}; expected one of {sorted(panels)}")
+    num_servers, threshold = panels[panel]
+    kwargs = {}
+    if utilizations is not None:
+        kwargs["utilizations"] = tuple(utilizations)
+    return Figure10Config(
+        num_servers=num_servers,
+        threshold=threshold,
+        simulation_events=simulation_events,
+        **kwargs,
+    )

@@ -1,0 +1,124 @@
+"""Figure 9: relative error of the asymptotic delay against finite-N simulation.
+
+The paper plots, for utilizations ``rho = 0.75`` (panel a) and ``rho = 0.95``
+(panel b), the relative error (in percent) of Mitzenmacher's asymptotic delay
+(Eq. 16) with respect to simulations of the true finite-``N`` SQ(d) system,
+for ``d in {2, 5, 10, 25, 50}`` and a range of ``N`` up to 250.  The paper's
+simulations use 10^8 jobs per point; the default here is far smaller so the
+sweep finishes in seconds, and ``num_events`` can be raised to match the
+paper's precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.asymptotic import asymptotic_delay, relative_error_percent
+from repro.simulation.gillespie import simulate_sqd_ctmc
+from repro.utils.tables import format_series
+from repro.utils.validation import check_in_range, check_integer
+
+DEFAULT_CHOICES: Tuple[int, ...] = (2, 5, 10, 25, 50)
+DEFAULT_SERVER_COUNTS: Tuple[int, ...] = (10, 25, 50, 75, 100, 150, 200, 250)
+
+
+@dataclass(frozen=True)
+class Figure9Config:
+    """Parameters of one Figure 9 panel."""
+
+    utilization: float
+    choices: Sequence[int] = DEFAULT_CHOICES
+    server_counts: Sequence[int] = DEFAULT_SERVER_COUNTS
+    num_events: int = 200_000
+    seed: int = 20160627  # ICDCS 2016 opening day, for reproducibility
+
+    def __post_init__(self) -> None:
+        check_in_range("utilization", self.utilization, 0.0, 0.999)
+        check_integer("num_events", self.num_events, minimum=1000)
+        for d in self.choices:
+            check_integer("d", d, minimum=1)
+        for n in self.server_counts:
+            check_integer("N", n, minimum=1)
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """Relative error series, one per value of ``d``."""
+
+    config: Figure9Config
+    simulated_delays: Dict[int, List[float]]
+    relative_errors: Dict[int, List[float]]
+    asymptotic_delays: Dict[int, float]
+
+    def server_counts_for(self, d: int) -> List[int]:
+        """The N values actually swept for a given ``d`` (only ``N >= d``)."""
+        return [n for n in self.config.server_counts if n >= d]
+
+    def as_table(self) -> str:
+        """Render the panel as one aligned text table (rows = N, columns = d)."""
+        server_counts = list(self.config.server_counts)
+        series = {}
+        for d in self.config.choices:
+            swept = self.server_counts_for(d)
+            errors = dict(zip(swept, self.relative_errors[d]))
+            series[f"d={d} err%"] = [errors.get(n, float("nan")) for n in server_counts]
+        return format_series(
+            series,
+            x_label="N",
+            x_values=server_counts,
+            title=(
+                f"Figure 9 (rho={self.config.utilization}): relative error (%) of the asymptotic "
+                f"delay vs simulation ({self.config.num_events} events/point)"
+            ),
+        )
+
+
+def run_figure9(config: Figure9Config) -> Figure9Result:
+    """Run the Figure 9 sweep for one utilization level."""
+    simulated: Dict[int, List[float]] = {}
+    errors: Dict[int, List[float]] = {}
+    asymptotics: Dict[int, float] = {}
+    for d in config.choices:
+        asymptotic = asymptotic_delay(config.utilization, d)
+        asymptotics[d] = asymptotic
+        delays: List[float] = []
+        error_series: List[float] = []
+        for n in config.server_counts:
+            if n < d:
+                continue
+            result = simulate_sqd_ctmc(
+                num_servers=n,
+                d=d,
+                utilization=config.utilization,
+                num_events=config.num_events,
+                seed=config.seed + 1000 * d + n,
+            )
+            delays.append(result.mean_delay)
+            error_series.append(relative_error_percent(asymptotic, result.mean_delay))
+        simulated[d] = delays
+        errors[d] = error_series
+    return Figure9Result(
+        config=config,
+        simulated_delays=simulated,
+        relative_errors=errors,
+        asymptotic_delays=asymptotics,
+    )
+
+
+def figure9a_config(num_events: int = 200_000, server_counts: Optional[Sequence[int]] = None) -> Figure9Config:
+    """Panel (a): moderate-high utilization rho = 0.75."""
+    return Figure9Config(
+        utilization=0.75,
+        num_events=num_events,
+        server_counts=tuple(server_counts) if server_counts is not None else DEFAULT_SERVER_COUNTS,
+    )
+
+
+def figure9b_config(num_events: int = 200_000, server_counts: Optional[Sequence[int]] = None) -> Figure9Config:
+    """Panel (b): very high utilization rho = 0.95."""
+    return Figure9Config(
+        utilization=0.95,
+        num_events=num_events,
+        server_counts=tuple(server_counts) if server_counts is not None else DEFAULT_SERVER_COUNTS,
+    )

@@ -1,0 +1,111 @@
+"""Generic parameter-sweep runner with CSV/JSON export.
+
+The figure harnesses cover the paper's exact plots; this module is the
+general-purpose counterpart for users who want to sweep their own grids of
+``(N, d, rho, T)`` and post-process the results elsewhere (spreadsheets,
+notebooks, plotting scripts).  Results are plain dictionaries, so export is a
+one-liner and nothing here depends on the plotting stack we do not ship.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.analysis import DelayAnalysis, analyze_sqd
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Cartesian parameter grid for :func:`run_sweep`."""
+
+    server_counts: Sequence[int] = (3,)
+    choices: Sequence[int] = (2,)
+    utilizations: Sequence[float] = (0.5, 0.7, 0.9)
+    thresholds: Sequence[int] = (2,)
+    run_simulation: bool = False
+    simulation_events: int = 100_000
+    seed: int = 20160627
+
+    def configurations(self) -> List[Dict[str, float]]:
+        """Expand the grid, skipping combinations with ``d > N``."""
+        grid = []
+        for n, d, rho, t in itertools.product(self.server_counts, self.choices, self.utilizations, self.thresholds):
+            if d > n:
+                continue
+            grid.append({"num_servers": n, "d": d, "utilization": rho, "threshold": t})
+        return grid
+
+
+@dataclass
+class SweepResult:
+    """Flat records (one per configuration) plus helpers for export."""
+
+    config: SweepConfig
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+    def append(self, analysis: DelayAnalysis) -> None:
+        self.records.append(analysis.summary_row())
+
+    def as_table(self, title: str | None = None) -> str:
+        if not self.records:
+            return "(empty sweep)"
+        headers = list(self.records[0].keys())
+        rows = [[record[h] for h in headers] for record in self.records]
+        return format_table(headers, rows, title=title)
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the records as CSV and return the path."""
+        path = Path(path)
+        if not self.records:
+            raise ValueError("cannot export an empty sweep")
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(self.records[0].keys()))
+            writer.writeheader()
+            writer.writerows(self.records)
+        return path
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write the records as JSON and return the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.records, indent=2, default=_json_default))
+        return path
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column across all records."""
+        return [record.get(name) for record in self.records]
+
+
+def _json_default(value):
+    if value is None:
+        return None
+    return float(value)
+
+
+def run_sweep(config: SweepConfig, progress: Optional[callable] = None) -> SweepResult:
+    """Run ``analyze_sqd`` over the whole parameter grid.
+
+    ``progress`` (if given) is called with ``(index, total, configuration)``
+    before each configuration — handy for long sweeps driven from scripts.
+    """
+    result = SweepResult(config=config)
+    configurations = config.configurations()
+    for index, parameters in enumerate(configurations):
+        if progress is not None:
+            progress(index, len(configurations), parameters)
+        analysis = analyze_sqd(
+            num_servers=int(parameters["num_servers"]),
+            d=int(parameters["d"]),
+            utilization=float(parameters["utilization"]),
+            threshold=int(parameters["threshold"]),
+            run_simulation=config.run_simulation,
+            simulation_events=config.simulation_events,
+            simulation_seed=config.seed + index,
+        )
+        result.append(analysis)
+    return result

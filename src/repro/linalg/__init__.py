@@ -1,0 +1,39 @@
+"""Numerical linear-algebra substrate for Markov-chain and QBD analysis.
+
+This subpackage is independent of the SQ(d) model: it provides stationary
+solvers for finite Markov chains, the Latouche–Ramaswami logarithmic
+reduction algorithm for Quasi-Birth-Death (QBD) processes, and block-matrix
+helpers used when assembling structured generators.
+"""
+
+from repro.linalg.solvers import (
+    stationary_from_generator,
+    stationary_from_transition_matrix,
+    solve_left_nullspace,
+    solve_constrained_left_nullspace,
+)
+from repro.linalg.logarithmic_reduction import (
+    QBDSolveError,
+    solve_G_logarithmic_reduction,
+    solve_G_functional_iteration,
+    rate_matrix_from_G,
+    qbd_drift,
+    is_qbd_positive_recurrent,
+)
+from repro.linalg.blocks import assemble_block_matrix, spectral_radius, geometric_block_sum
+
+__all__ = [
+    "stationary_from_generator",
+    "stationary_from_transition_matrix",
+    "solve_left_nullspace",
+    "solve_constrained_left_nullspace",
+    "QBDSolveError",
+    "solve_G_logarithmic_reduction",
+    "solve_G_functional_iteration",
+    "rate_matrix_from_G",
+    "qbd_drift",
+    "is_qbd_positive_recurrent",
+    "assemble_block_matrix",
+    "spectral_radius",
+    "geometric_block_sum",
+]

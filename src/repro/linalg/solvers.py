@@ -1,0 +1,149 @@
+"""Stationary-distribution and left-nullspace solvers for finite Markov chains.
+
+Both CTMC generators and DTMC transition matrices are supported.  The solvers
+work with dense NumPy arrays; the state spaces handled by the SQ(d) bound
+models are at most a few thousand states, for which dense LU factorization is
+both simpler and faster than sparse iterative methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StationarySolveError(RuntimeError):
+    """Raised when a stationary distribution cannot be computed."""
+
+
+def solve_left_nullspace(matrix: np.ndarray) -> np.ndarray:
+    """Return a non-trivial row vector ``x`` with ``x @ matrix ≈ 0``.
+
+    The matrix is expected to have a one-dimensional left null space (the
+    usual situation for an irreducible generator or ``P - I``).  The vector is
+    returned unnormalized; callers apply their own normalization because QBD
+    boundary systems normalize with a weighted sum rather than a plain sum.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("matrix must be square")
+    # Left null vector of M == right null vector of M^T.
+    _, singular_values, vh = np.linalg.svd(matrix.T)
+    null_vector = vh[-1, :]
+    residual = np.linalg.norm(null_vector @ matrix)
+    scale = max(1.0, np.linalg.norm(matrix))
+    if residual > 1e-8 * scale:
+        raise StationarySolveError(
+            f"left null-space residual too large: {residual:.3e} (smallest singular value {singular_values[-1]:.3e})"
+        )
+    return null_vector
+
+
+def solve_constrained_left_nullspace(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Solve ``x @ matrix = 0`` subject to ``x @ weights = 1``.
+
+    This is the canonical way of solving QBD boundary balance equations: the
+    balance system is rank deficient by one, and the missing equation is the
+    normalization condition with non-uniform ``weights`` (for QBDs the weight
+    of the last repeating block is ``(I - R)^{-1} e``).
+
+    The implementation replaces the last column of ``matrix`` by ``weights``
+    and solves the resulting non-singular system; if that system is still
+    singular (which can happen if the dropped balance equation was not
+    redundant), it falls back to a least-squares solve of the stacked system.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    weights = np.asarray(weights, dtype=float).reshape(-1)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("matrix must be square")
+    if weights.shape != (n,):
+        raise ValueError("weights must have one entry per state")
+
+    # Replace one balance equation (the last column of the balance system) by
+    # the normalization condition; the resulting square system is regular for
+    # irreducible chains.
+    augmented = matrix.copy()
+    augmented[:, -1] = weights
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    solution = None
+    try:
+        solution = np.linalg.solve(augmented.T, rhs)
+    except np.linalg.LinAlgError:
+        solution = None
+    if solution is not None and _balance_residual(solution, matrix, weights) < 1e-7:
+        return solution
+
+    # Fall back: stack all balance equations plus the normalization and solve
+    # in the least-squares sense (handles the rare case where the dropped
+    # balance equation was not redundant).
+    stacked = np.hstack([matrix, weights.reshape(-1, 1)])
+    target = np.zeros(n + 1)
+    target[-1] = 1.0
+    solution, *_ = np.linalg.lstsq(stacked.T, target, rcond=None)
+    if _balance_residual(solution, matrix, weights) > 1e-6:
+        raise StationarySolveError("constrained null-space solve failed to converge")
+    return solution
+
+
+def _balance_residual(solution: np.ndarray, matrix: np.ndarray, weights: np.ndarray) -> float:
+    balance = solution @ matrix
+    # The last balance equation was sacrificed for normalization; exclude it.
+    balance_residual = np.linalg.norm(balance[:-1])
+    normalization_residual = abs(solution @ weights - 1.0)
+    return float(balance_residual + normalization_residual)
+
+
+def stationary_from_generator(generator: np.ndarray) -> np.ndarray:
+    """Stationary distribution ``pi`` of an irreducible CTMC generator.
+
+    Solves ``pi @ Q = 0`` with ``pi @ 1 = 1`` and clips tiny negative entries
+    produced by round-off.
+    """
+    generator = np.asarray(generator, dtype=float)
+    n = generator.shape[0]
+    _check_generator(generator)
+    weights = np.ones(n)
+    pi = solve_constrained_left_nullspace(generator, weights)
+    return _clean_distribution(pi)
+
+
+def stationary_from_transition_matrix(transition_matrix: np.ndarray) -> np.ndarray:
+    """Stationary distribution of an irreducible DTMC transition matrix."""
+    transition_matrix = np.asarray(transition_matrix, dtype=float)
+    n = transition_matrix.shape[0]
+    if transition_matrix.shape != (n, n):
+        raise ValueError("transition matrix must be square")
+    row_sums = transition_matrix.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-8):
+        raise ValueError("transition matrix rows must sum to 1")
+    if np.any(transition_matrix < -1e-12):
+        raise ValueError("transition matrix must be non-negative")
+    pi = solve_constrained_left_nullspace(transition_matrix - np.eye(n), np.ones(n))
+    return _clean_distribution(pi)
+
+
+def _check_generator(generator: np.ndarray) -> None:
+    n = generator.shape[0]
+    if generator.shape != (n, n):
+        raise ValueError("generator must be square")
+    off_diagonal = generator - np.diag(np.diag(generator))
+    if np.any(off_diagonal < -1e-9):
+        raise ValueError("generator off-diagonal entries must be non-negative")
+    row_sums = generator.sum(axis=1)
+    if not np.allclose(row_sums, 0.0, atol=1e-7 * max(1.0, np.abs(generator).max())):
+        raise ValueError("generator rows must sum to 0")
+
+
+def _clean_distribution(pi: np.ndarray) -> np.ndarray:
+    pi = np.asarray(pi, dtype=float).copy()
+    if pi.sum() < 0:
+        pi = -pi
+    pi[np.abs(pi) < 1e-14] = 0.0
+    if np.any(pi < -1e-8):
+        raise StationarySolveError("stationary solve produced significantly negative probabilities")
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0:
+        raise StationarySolveError("stationary solve produced a zero vector")
+    return pi / total

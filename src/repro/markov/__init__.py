@@ -1,0 +1,53 @@
+"""Markov-chain substrate: generic CTMC/DTMC containers and stochastic processes.
+
+This subpackage provides the probabilistic building blocks the SQ(d)
+analysis sits on: finite continuous- and discrete-time Markov chains with
+stationary solvers, arrival processes (Poisson, renewal, Markovian Arrival
+Processes) together with the mixed-Poisson integrals ``beta_k`` of the
+paper's Eq. (19), and service-time distributions (exponential, Erlang,
+hyperexponential, deterministic and general phase-type).
+"""
+
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+from repro.markov.dtmc import DiscreteTimeMarkovChain
+from repro.markov.arrival_processes import (
+    ArrivalProcess,
+    PoissonArrivals,
+    RenewalArrivals,
+    MarkovianArrivalProcess,
+    beta_coefficients,
+    solve_sigma,
+)
+from repro.markov.service_distributions import (
+    ServiceDistribution,
+    ExponentialService,
+    ErlangService,
+    HyperexponentialService,
+    DeterministicService,
+    PhaseTypeService,
+)
+from repro.markov.map_ph_queue import (
+    MAPPHQueueSolution,
+    mg1_pollaczek_khinchine_waiting_time,
+    solve_map_ph_1,
+)
+
+__all__ = [
+    "MAPPHQueueSolution",
+    "solve_map_ph_1",
+    "mg1_pollaczek_khinchine_waiting_time",
+    "ContinuousTimeMarkovChain",
+    "DiscreteTimeMarkovChain",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "RenewalArrivals",
+    "MarkovianArrivalProcess",
+    "beta_coefficients",
+    "solve_sigma",
+    "ServiceDistribution",
+    "ExponentialService",
+    "ErlangService",
+    "HyperexponentialService",
+    "DeterministicService",
+    "PhaseTypeService",
+]

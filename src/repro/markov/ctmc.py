@@ -1,0 +1,155 @@
+"""A generic finite continuous-time Markov chain (CTMC).
+
+The chain is described by an arbitrary hashable state set and a sparse
+transition-rate map.  It offers stationary analysis (via dense linear
+algebra), uniformization into a DTMC, expected-reward evaluation and
+conversion to a NumPy generator matrix.  The exact SQ(d) oracle of
+:mod:`repro.core.exact` and several tests are built on top of this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.solvers import stationary_from_generator
+from repro.markov.dtmc import DiscreteTimeMarkovChain
+
+State = Hashable
+
+
+class ContinuousTimeMarkovChain:
+    """Finite CTMC over an explicit list of states.
+
+    Parameters
+    ----------
+    states:
+        The state list; order defines the indexing of all vectors/matrices.
+    rates:
+        Mapping ``(source, target) -> rate`` with positive rates for
+        ``source != target``.  Missing pairs have rate zero.  Diagonal
+        entries are derived automatically.
+    """
+
+    def __init__(self, states: Sequence[State], rates: Mapping[Tuple[State, State], float]):
+        self._states: List[State] = list(states)
+        if len(set(self._states)) != len(self._states):
+            raise ValueError("states must be unique")
+        self._index: Dict[State, int] = {state: i for i, state in enumerate(self._states)}
+        self._rates: Dict[Tuple[State, State], float] = {}
+        for (source, target), rate in rates.items():
+            if source not in self._index or target not in self._index:
+                raise ValueError(f"transition {source!r} -> {target!r} references an unknown state")
+            if source == target:
+                continue
+            if rate < 0:
+                raise ValueError(f"negative rate for transition {source!r} -> {target!r}")
+            if rate == 0:
+                continue
+            self._rates[(source, target)] = self._rates.get((source, target), 0.0) + float(rate)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def states(self) -> List[State]:
+        """The ordered state list."""
+        return list(self._states)
+
+    @property
+    def num_states(self) -> int:
+        return len(self._states)
+
+    def index_of(self, state: State) -> int:
+        """Index of ``state`` in the state ordering."""
+        return self._index[state]
+
+    def rate(self, source: State, target: State) -> float:
+        """Transition rate from ``source`` to ``target`` (0 if absent)."""
+        return self._rates.get((source, target), 0.0)
+
+    def transitions_from(self, source: State) -> List[Tuple[State, float]]:
+        """All outgoing transitions of ``source`` as ``(target, rate)`` pairs."""
+        return [(target, rate) for (src, target), rate in self._rates.items() if src == source]
+
+    def exit_rate(self, source: State) -> float:
+        """Total outgoing rate of ``source``."""
+        return sum(rate for (src, _), rate in self._rates.items() if src == source)
+
+    # ------------------------------------------------------------------ #
+    # Matrix forms and analysis
+    # ------------------------------------------------------------------ #
+    def generator_matrix(self) -> np.ndarray:
+        """Dense generator matrix ``Q`` with rows summing to zero."""
+        n = self.num_states
+        Q = np.zeros((n, n))
+        for (source, target), rate in self._rates.items():
+            Q[self._index[source], self._index[target]] += rate
+        np.fill_diagonal(Q, Q.diagonal() - Q.sum(axis=1))
+        return Q
+
+    def stationary_distribution(self) -> Dict[State, float]:
+        """Stationary distribution as a state-keyed dict (requires irreducibility)."""
+        pi = stationary_from_generator(self.generator_matrix())
+        return {state: float(pi[i]) for i, state in enumerate(self._states)}
+
+    def expected_reward(self, reward: Callable[[State], float]) -> float:
+        """Stationary expectation of a per-state reward function."""
+        distribution = self.stationary_distribution()
+        return float(sum(probability * reward(state) for state, probability in distribution.items()))
+
+    def uniformize(self, uniformization_rate: float | None = None) -> DiscreteTimeMarkovChain:
+        """Return the uniformized DTMC ``P = I + Q / Lambda``.
+
+        ``Lambda`` defaults to a value slightly above the largest exit rate,
+        guaranteeing non-negative self-loop probabilities.
+        """
+        Q = self.generator_matrix()
+        max_exit = float(np.max(-np.diag(Q))) if self.num_states else 0.0
+        if uniformization_rate is None:
+            uniformization_rate = max_exit * 1.0000001 if max_exit > 0 else 1.0
+        if uniformization_rate < max_exit:
+            raise ValueError("uniformization rate must be at least the largest exit rate")
+        P = np.eye(self.num_states) + Q / uniformization_rate
+        return DiscreteTimeMarkovChain(self._states, P)
+
+    def is_conservative(self, tolerance: float = 1e-9) -> bool:
+        """True if every row of the generator sums to (numerically) zero."""
+        Q = self.generator_matrix()
+        return bool(np.allclose(Q.sum(axis=1), 0.0, atol=tolerance))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_transition_function(
+        cls,
+        initial_states: Iterable[State],
+        transition_function: Callable[[State], Iterable[Tuple[State, float]]],
+        max_states: int = 1_000_000,
+    ) -> "ContinuousTimeMarkovChain":
+        """Build a CTMC by exploring the reachable state space.
+
+        ``transition_function(state)`` returns the outgoing ``(target, rate)``
+        pairs of ``state``.  Exploration is breadth-first from
+        ``initial_states`` and stops with an error if ``max_states`` is
+        exceeded (a guard against accidentally unbounded state spaces).
+        """
+        frontier = list(initial_states)
+        seen = set(frontier)
+        rates: Dict[Tuple[State, State], float] = {}
+        ordered: List[State] = list(frontier)
+        while frontier:
+            state = frontier.pop()
+            for target, rate in transition_function(state):
+                if rate <= 0:
+                    continue
+                rates[(state, target)] = rates.get((state, target), 0.0) + float(rate)
+                if target not in seen:
+                    if len(seen) >= max_states:
+                        raise RuntimeError(f"state-space exploration exceeded {max_states} states")
+                    seen.add(target)
+                    ordered.append(target)
+                    frontier.append(target)
+        return cls(ordered, rates)

@@ -1,0 +1,64 @@
+"""A generic finite discrete-time Markov chain (DTMC)."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+import numpy as np
+
+from repro.linalg.solvers import stationary_from_transition_matrix
+
+State = Hashable
+
+
+class DiscreteTimeMarkovChain:
+    """Finite DTMC defined by a state list and a dense transition matrix."""
+
+    def __init__(self, states: Sequence[State], transition_matrix: np.ndarray):
+        self._states: List[State] = list(states)
+        if len(set(self._states)) != len(self._states):
+            raise ValueError("states must be unique")
+        matrix = np.asarray(transition_matrix, dtype=float)
+        n = len(self._states)
+        if matrix.shape != (n, n):
+            raise ValueError(f"transition matrix must be {n}x{n}, got {matrix.shape}")
+        if np.any(matrix < -1e-12):
+            raise ValueError("transition probabilities must be non-negative")
+        if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-8):
+            raise ValueError("transition matrix rows must sum to 1")
+        self._matrix = np.clip(matrix, 0.0, None)
+        self._index: Dict[State, int] = {state: i for i, state in enumerate(self._states)}
+
+    @property
+    def states(self) -> List[State]:
+        return list(self._states)
+
+    @property
+    def num_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def index_of(self, state: State) -> int:
+        return self._index[state]
+
+    def probability(self, source: State, target: State) -> float:
+        return float(self._matrix[self._index[source], self._index[target]])
+
+    def stationary_distribution(self) -> Dict[State, float]:
+        """Stationary distribution as a state-keyed dict (requires irreducibility)."""
+        pi = stationary_from_transition_matrix(self._matrix)
+        return {state: float(pi[i]) for i, state in enumerate(self._states)}
+
+    def step_distribution(self, distribution: Dict[State, float], steps: int = 1) -> Dict[State, float]:
+        """Propagate a distribution ``steps`` transitions forward."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        vector = np.zeros(self.num_states)
+        for state, probability in distribution.items():
+            vector[self._index[state]] = probability
+        for _ in range(steps):
+            vector = vector @ self._matrix
+        return {state: float(vector[i]) for i, state in enumerate(self._states)}

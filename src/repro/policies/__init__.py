@@ -1,0 +1,27 @@
+"""Dispatching policies for parallel-server clusters.
+
+The paper's subject is SQ(d) (``power of d choices``); JSQ and uniform random
+dispatching are its two extremes (``d = N`` and ``d = 1``).  A few additional
+policies that are standard comparison points in the load-balancing literature
+(round-robin, join-idle-queue, least-work-left) are included as baselines for
+the examples and ablation benchmarks.
+"""
+
+from repro.policies.base import ClusterView, DispatchingPolicy
+from repro.policies.sqd import PowerOfD
+from repro.policies.jsq import JoinShortestQueue
+from repro.policies.random_policy import UniformRandom
+from repro.policies.round_robin import RoundRobin
+from repro.policies.jiq import JoinIdleQueue
+from repro.policies.least_work_left import LeastWorkLeft
+
+__all__ = [
+    "ClusterView",
+    "DispatchingPolicy",
+    "PowerOfD",
+    "JoinShortestQueue",
+    "UniformRandom",
+    "RoundRobin",
+    "JoinIdleQueue",
+    "LeastWorkLeft",
+]

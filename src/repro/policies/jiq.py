@@ -1,0 +1,32 @@
+"""Join-Idle-Queue dispatching (Lu et al., 2011) — an extension baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import ClusterView, DispatchingPolicy
+
+
+class JoinIdleQueue(DispatchingPolicy):
+    """Prefer an idle server; fall back to a uniformly random server.
+
+    The real JIQ system maintains an idle-server registry updated by the
+    servers themselves; in a single-dispatcher simulation that registry is
+    exactly the set of currently idle servers, so this implementation reads it
+    from the cluster view.  JIQ is included because it is the most common
+    modern alternative to power-of-d dispatching and makes a natural extra
+    series in the policy-comparison example.
+    """
+
+    def select_server(self, view: ClusterView, rng: np.random.Generator) -> int:
+        idle = view.idle_servers()
+        if idle.shape[0] > 0:
+            return int(rng.choice(idle))
+        return int(rng.integers(view.num_servers))
+
+    @property
+    def feedback_messages_per_job(self) -> int:
+        return 0  # servers push idle notifications; no per-job polling
+
+    def __repr__(self) -> str:
+        return "JoinIdleQueue()"

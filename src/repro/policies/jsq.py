@@ -1,0 +1,31 @@
+"""Join-the-Shortest-Queue (JSQ) dispatching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import ClusterView, DispatchingPolicy
+
+
+class JoinShortestQueue(DispatchingPolicy):
+    """Send each arriving job to a server with the globally smallest queue.
+
+    Ties are broken uniformly at random.  JSQ is the ``d = N`` extreme of
+    SQ(d): minimal delay, maximal feedback cost (every server reports its
+    queue length on every arrival).
+    """
+
+    def select_server(self, view: ClusterView, rng: np.random.Generator) -> int:
+        lengths = view.queue_lengths
+        shortest = lengths.min()
+        candidates = np.flatnonzero(lengths == shortest)
+        if candidates.shape[0] == 1:
+            return int(candidates[0])
+        return int(rng.choice(candidates))
+
+    @property
+    def feedback_messages_per_job(self) -> int | None:
+        return None  # depends on N; reported by the simulator as N per job
+
+    def __repr__(self) -> str:
+        return "JoinShortestQueue()"

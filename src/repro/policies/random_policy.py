@@ -1,0 +1,25 @@
+"""Uniform random dispatching (the d = 1 extreme of SQ(d))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import ClusterView, DispatchingPolicy
+
+
+class UniformRandom(DispatchingPolicy):
+    """Send each job to a server chosen uniformly at random.
+
+    With Poisson arrivals this splits the cluster into ``N`` independent
+    M/G/1 queues, which is the zero-feedback baseline of the paper.
+    """
+
+    def select_server(self, view: ClusterView, rng: np.random.Generator) -> int:
+        return int(rng.integers(view.num_servers))
+
+    @property
+    def feedback_messages_per_job(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "UniformRandom()"

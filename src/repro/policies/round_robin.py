@@ -1,0 +1,34 @@
+"""Round-robin dispatching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import ClusterView, DispatchingPolicy
+
+
+class RoundRobin(DispatchingPolicy):
+    """Cycle deterministically through the servers.
+
+    Round-robin needs no feedback at all and smooths the arrival stream seen
+    by each server (each server receives an Erlang-N thinned stream), which
+    makes it a useful low-cost baseline in the policy-comparison example.
+    """
+
+    def __init__(self) -> None:
+        self._next_server = 0
+
+    def select_server(self, view: ClusterView, rng: np.random.Generator) -> int:
+        server = self._next_server % view.num_servers
+        self._next_server = (server + 1) % view.num_servers
+        return int(server)
+
+    def reset(self) -> None:
+        self._next_server = 0
+
+    @property
+    def feedback_messages_per_job(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "RoundRobin()"

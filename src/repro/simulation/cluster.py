@@ -1,0 +1,199 @@
+"""Job-level discrete-event simulation of a dispatcher + N FIFO servers.
+
+Every job is tracked individually: arrival time, chosen server, service
+requirement, waiting time (time from arrival until service starts) and
+sojourn time (waiting plus service, the paper's "delay").  The simulator is
+policy- and distribution-agnostic; the fast exponential-only CTMC simulator
+lives in :mod:`repro.simulation.gillespie`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.policies.base import ClusterView, DispatchingPolicy
+from repro.simulation.engine import EventScheduler
+from repro.simulation.metrics import SimulationSummary, WaitingTimeAccumulator
+from repro.simulation.workloads import Workload
+from repro.utils.seeding import spawn_rngs
+from repro.utils.validation import check_integer
+
+
+@dataclass
+class _Job:
+    arrival_time: float
+    service_requirement: float
+    server: int = -1
+    start_time: float = -1.0
+    completion_time: float = -1.0
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Aggregated output of one simulation run."""
+
+    mean_waiting_time: float
+    mean_sojourn_time: float
+    waiting_summary: SimulationSummary
+    sojourn_summary: SimulationSummary
+    completed_jobs: int
+    discarded_jobs: int
+    simulated_time: float
+    mean_queue_length_seen: float
+
+    @property
+    def mean_delay(self) -> float:
+        """The paper's "average delay" is the mean sojourn (response) time."""
+        return self.mean_sojourn_time
+
+
+class ClusterSimulation:
+    """Event-driven simulation of a single dispatcher feeding N FIFO servers.
+
+    Parameters
+    ----------
+    workload:
+        Arrival process and service distribution (see :class:`Workload`).
+    policy:
+        Dispatching policy deciding which server each arriving job joins.
+    seed:
+        Seed for the independent arrival / service / policy random streams.
+    warmup_jobs:
+        Number of initial job completions to discard from the statistics.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: DispatchingPolicy,
+        seed: Optional[int] = 12345,
+        warmup_jobs: int = 0,
+    ):
+        self._workload = workload
+        self._policy = policy
+        self._arrival_rng, self._service_rng, self._policy_rng = spawn_rngs(seed, 3)
+        self._scheduler = EventScheduler()
+        self._accumulator = WaitingTimeAccumulator(warmup_jobs=warmup_jobs)
+
+        n = workload.num_servers
+        self._queues: List[Deque[_Job]] = [deque() for _ in range(n)]
+        self._queue_lengths = np.zeros(n, dtype=np.int64)
+        self._work_remaining = np.zeros(n, dtype=float)
+        self._arrivals_generated = 0
+        self._jobs_completed = 0
+        self._queue_length_seen_sum = 0.0
+        self._max_jobs: Optional[int] = None
+
+        # Pre-draw interarrival and service times in blocks to avoid per-event
+        # generator call overhead.
+        self._interarrival_buffer = np.empty(0)
+        self._interarrival_index = 0
+        self._service_buffer = np.empty(0)
+        self._service_index = 0
+
+    # ------------------------------------------------------------------ #
+    # Random-variate buffering
+    # ------------------------------------------------------------------ #
+    def _next_interarrival(self) -> float:
+        if self._interarrival_index >= self._interarrival_buffer.shape[0]:
+            self._interarrival_buffer = self._workload.arrival_process.sample_interarrival_times(
+                self._arrival_rng, 8192
+            )
+            self._interarrival_index = 0
+        value = self._interarrival_buffer[self._interarrival_index]
+        self._interarrival_index += 1
+        return float(value)
+
+    def _next_service(self) -> float:
+        if self._service_index >= self._service_buffer.shape[0]:
+            self._service_buffer = self._workload.service_distribution.sample(self._service_rng, 8192)
+            self._service_index = 0
+        value = self._service_buffer[self._service_index]
+        self._service_index += 1
+        return float(value)
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _handle_arrival(self) -> None:
+        now = self._scheduler.now
+        job = _Job(arrival_time=now, service_requirement=self._next_service())
+        view = ClusterView(queue_lengths=self._queue_lengths, work_remaining=self._work_remaining)
+        server = self._policy.select_server(view, self._policy_rng)
+        if not 0 <= server < self._workload.num_servers:
+            raise RuntimeError(f"policy selected an invalid server index {server}")
+        job.server = server
+        self._queue_length_seen_sum += float(self._queue_lengths[server])
+
+        self._queues[server].append(job)
+        self._queue_lengths[server] += 1
+        self._work_remaining[server] += job.service_requirement
+        if self._queue_lengths[server] == 1:
+            self._start_service(server)
+
+        self._arrivals_generated += 1
+        if self._max_jobs is None or self._arrivals_generated < self._max_jobs:
+            self._scheduler.schedule(self._next_interarrival(), self._handle_arrival)
+
+    def _start_service(self, server: int) -> None:
+        job = self._queues[server][0]
+        job.start_time = self._scheduler.now
+        self._scheduler.schedule(job.service_requirement, lambda: self._handle_departure(server))
+
+    def _handle_departure(self, server: int) -> None:
+        now = self._scheduler.now
+        job = self._queues[server].popleft()
+        job.completion_time = now
+        self._queue_lengths[server] -= 1
+        self._work_remaining[server] = max(0.0, self._work_remaining[server] - job.service_requirement)
+        self._jobs_completed += 1
+
+        waiting_time = job.start_time - job.arrival_time
+        sojourn_time = job.completion_time - job.arrival_time
+        self._accumulator.record(waiting_time, sojourn_time)
+
+        if self._queues[server]:
+            self._start_service(server)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, num_jobs: int) -> ClusterResult:
+        """Simulate until ``num_jobs`` jobs have *arrived* and all of them completed."""
+        check_integer("num_jobs", num_jobs, minimum=1)
+        self._max_jobs = num_jobs
+        self._policy.reset()
+        self._scheduler.schedule(self._next_interarrival(), self._handle_arrival)
+        # Run until the event list drains: after the last arrival is generated
+        # only departures remain, so the simulation terminates.
+        self._scheduler.run()
+        return self._build_result()
+
+    def _build_result(self) -> ClusterResult:
+        waiting_summary = self._accumulator.waiting_summary()
+        sojourn_summary = self._accumulator.sojourn_summary()
+        completed = self._accumulator.recorded_jobs
+        mean_seen = self._queue_length_seen_sum / max(1, self._arrivals_generated)
+        return ClusterResult(
+            mean_waiting_time=self._accumulator.mean_waiting_time(),
+            mean_sojourn_time=self._accumulator.mean_sojourn_time(),
+            waiting_summary=waiting_summary,
+            sojourn_summary=sojourn_summary,
+            completed_jobs=completed,
+            discarded_jobs=self._accumulator.discarded_jobs,
+            simulated_time=self._scheduler.now,
+            mean_queue_length_seen=float(mean_seen),
+        )
+
+    @property
+    def queue_lengths(self) -> np.ndarray:
+        """Current per-server queue lengths (useful for tests and debugging)."""
+        return self._queue_lengths.copy()
+
+    @property
+    def jobs_completed(self) -> int:
+        return self._jobs_completed

@@ -1,0 +1,106 @@
+"""A minimal discrete-event simulation engine.
+
+The engine is a priority queue of timestamped events with callbacks.  It is
+deliberately small: deterministic tie-breaking by insertion order, explicit
+cancellation, and stop conditions by time or event count.  The cluster
+simulator in :mod:`repro.simulation.cluster` is its only in-tree client, but
+the engine is generic and reusable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback; use :meth:`cancel` to revoke it before it fires."""
+
+    __slots__ = ("callback", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Future-event list with a simulation clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._executed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._executed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled ones not yet purged)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        event = Event(self._now + delay, callback)
+        heapq.heappush(self._heap, _ScheduledEvent(event.time, next(self._counter), event))
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(time - self._now, callback)
+
+    def step(self) -> bool:
+        """Execute the next pending event; return False when none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            entry.event.callback()
+            self._executed_events += 1
+            return True
+        return False
+
+    def run(self, until_time: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event list empties, ``until_time`` passes, or ``max_events`` fire."""
+        executed_at_start = self._executed_events
+        while self._heap:
+            if max_events is not None and self._executed_events - executed_at_start >= max_events:
+                return
+            next_time = self._peek_time()
+            if next_time is None:
+                return
+            if until_time is not None and next_time > until_time:
+                self._now = until_time
+                return
+            self.step()
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,62 @@
+"""Workload descriptions: arrival process + service distribution + load bookkeeping.
+
+A :class:`Workload` bundles everything the simulators need about the traffic
+offered to an ``N``-server cluster.  The canonical workload of the paper is
+Poisson arrivals with total rate ``lambda * N`` and exponential unit-mean
+service, constructed by :func:`poisson_exponential_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.markov.arrival_processes import ArrivalProcess, PoissonArrivals
+from repro.markov.service_distributions import ExponentialService, ServiceDistribution
+from repro.utils.validation import ValidationError, check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Traffic offered to a cluster of ``num_servers`` parallel servers."""
+
+    num_servers: int
+    arrival_process: ArrivalProcess
+    service_distribution: ServiceDistribution
+
+    def __post_init__(self) -> None:
+        check_integer("num_servers", self.num_servers, minimum=1)
+        if self.arrival_process.rate <= 0:
+            raise ValidationError("arrival process must have positive rate")
+        if self.service_distribution.mean <= 0:
+            raise ValidationError("service distribution must have positive mean")
+
+    @property
+    def total_arrival_rate(self) -> float:
+        """Aggregate arrival rate into the dispatcher."""
+        return self.arrival_process.rate
+
+    @property
+    def per_server_load(self) -> float:
+        """Utilization ``rho`` = offered work per server per unit time."""
+        return self.total_arrival_rate * self.service_distribution.mean / self.num_servers
+
+    @property
+    def is_stable(self) -> bool:
+        """True when ``rho < 1`` (necessary for any work-conserving policy)."""
+        return self.per_server_load < 1.0
+
+
+def poisson_exponential_workload(num_servers: int, utilization: float, service_rate: float = 1.0) -> Workload:
+    """The paper's base workload: Poisson(lambda * N) arrivals, Exp(mu) service.
+
+    ``utilization`` is the per-server traffic intensity ``rho = lambda / mu``.
+    """
+    check_integer("num_servers", num_servers, minimum=1)
+    check_positive("utilization", utilization)
+    check_positive("service_rate", service_rate)
+    total_rate = utilization * service_rate * num_servers
+    return Workload(
+        num_servers=num_servers,
+        arrival_process=PoissonArrivals(total_rate),
+        service_distribution=ExponentialService(service_rate),
+    )

@@ -1,0 +1,38 @@
+"""Small shared utilities: combinatorics, validation, formatting and seeding.
+
+These helpers are substrate code used throughout :mod:`repro`; nothing in
+here is specific to the SQ(d) model.
+"""
+
+from repro.utils.combinatorics import (
+    binomial,
+    bounded_partitions,
+    compositions,
+    descending_tuples,
+    multiset_permutation_count,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_in_range,
+    check_integer,
+    ValidationError,
+)
+from repro.utils.tables import format_table, format_series
+from repro.utils.seeding import spawn_rngs
+
+__all__ = [
+    "binomial",
+    "bounded_partitions",
+    "compositions",
+    "descending_tuples",
+    "multiset_permutation_count",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_integer",
+    "ValidationError",
+    "format_table",
+    "format_series",
+    "spawn_rngs",
+]

@@ -1,0 +1,25 @@
+"""Deterministic random-number-stream management.
+
+Simulations in :mod:`repro.simulation` take a single integer seed and derive
+independent streams for arrivals, services and the dispatcher's polling
+choices, so experiments are reproducible and the streams stay decoupled when
+one component draws a different number of variates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def spawn_rngs(seed: int | None, count: int) -> List[np.random.Generator]:
+    """Return ``count`` independent NumPy generators derived from ``seed``.
+
+    ``seed=None`` produces non-deterministic streams (seeded from OS entropy),
+    which is convenient for exploratory runs but should be avoided in tests.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    seed_seq = np.random.SeedSequence(seed)
+    return [np.random.Generator(np.random.PCG64(child)) for child in seed_seq.spawn(count)]

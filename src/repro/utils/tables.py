@@ -1,0 +1,50 @@
+"""Plain-text tabular output for experiment harnesses.
+
+The benchmark harnesses print the same rows/series the paper's tables and
+figures report; these helpers render them as aligned monospace tables so the
+output of ``pytest benchmarks/ --benchmark-only`` is directly readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x_label: str, x_values: Sequence[float], title: str | None = None) -> str:
+    """Render several named series sharing the same x axis as one table.
+
+    This mirrors how the paper's figures are read: one row per x value, one
+    column per plotted curve.
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.6g}"
+    return str(cell)

@@ -1,0 +1,58 @@
+"""Lightweight argument-validation helpers.
+
+All public constructors in :mod:`repro` validate their inputs eagerly and
+raise :class:`ValidationError` with a message naming the offending argument,
+so configuration errors surface at model-construction time rather than deep
+inside a numerical routine.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+
+class ValidationError(ValueError):
+    """Raised when a model or solver parameter is outside its legal range."""
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if ``strict`` is False)."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a real number, got {value!r}")
+    if strict and value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float, allow_zero: bool = True, allow_one: bool = True) -> float:
+    """Validate that ``value`` lies in the closed (or half-open) unit interval."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a real number, got {value!r}")
+    low_ok = value > 0 or (allow_zero and value == 0)
+    high_ok = value < 1 or (allow_one and value == 1)
+    if not (low_ok and high_ok):
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval ``[low, high]``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a real number, got {value!r}")
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def check_integer(name: str, value: int, minimum: int | None = None, maximum: int | None = None) -> int:
+    """Validate that ``value`` is an integer within optional bounds."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ValidationError(f"{name} must be <= {maximum}, got {value}")
+    return value

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bound_models import LowerBoundModel, UpperBoundModel
+from repro.core.model import SQDModel
+
+
+@pytest.fixture
+def small_model() -> SQDModel:
+    """A 3-server SQ(2) model at moderate utilization — the paper's smallest case."""
+    return SQDModel(num_servers=3, d=2, utilization=0.7)
+
+
+@pytest.fixture
+def small_lower_blocks(small_model):
+    """QBD blocks of the lower bound model for the small model (T=2)."""
+    return LowerBoundModel(small_model, threshold=2).qbd_blocks()
+
+@pytest.fixture
+def small_upper_blocks(small_model):
+    """QBD blocks of the upper bound model for the small model (T=2)."""
+    return UpperBoundModel(small_model, threshold=2).qbd_blocks()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20160627)

@@ -1,0 +1,80 @@
+"""Tests for the repro-lb command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyzeCommand:
+    def test_prints_bounds_table(self, capsys):
+        exit_code = main(["analyze", "-N", "3", "-d", "2", "-u", "0.7", "-T", "2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "lower bound" in output
+        assert "upper bound" in output
+        assert "asymptotic" in output
+
+    def test_reports_unstable_upper_bound(self, capsys):
+        main(["analyze", "-N", "3", "-d", "2", "-u", "0.9", "-T", "1"])
+        assert "unstable" in capsys.readouterr().out
+
+    def test_with_simulation_and_exact(self, capsys):
+        exit_code = main(
+            ["analyze", "-N", "3", "-d", "2", "-u", "0.5", "-T", "2", "--simulate", "--events", "30000", "--exact"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "simulation" in output
+        assert "exact" in output
+
+    def test_missing_required_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "-N", "3"])
+
+
+class TestFigureCommands:
+    def test_figure9_small_run(self, capsys):
+        exit_code = main(
+            ["figure9", "-u", "0.75", "--choices", "2", "--servers", "5", "10", "--events", "10000"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 9" in output and "d=2 err%" in output
+
+    def test_figure10_panel_without_simulation(self, capsys):
+        exit_code = main(["figure10", "--panel", "a", "--no-simulation"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 10" in output and "N=3" in output
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure10", "--panel", "z"])
+
+
+class TestSweepCommand:
+    def test_sweep_with_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        exit_code = main(
+            [
+                "sweep",
+                "--servers", "3",
+                "--choices", "2",
+                "--utilizations", "0.5", "0.8",
+                "--thresholds", "2",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sweep" in output.lower()
+        assert csv_path.exists()
+        assert len(json.loads(json_path.read_text())) == 2
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,68 @@
+"""Tests for the high-level analyze_sqd API."""
+
+import pytest
+
+from repro.core.analysis import analyze_sqd
+from repro.core.qbd_solver import SolutionMethod
+from repro.utils.validation import ValidationError
+
+
+class TestAnalyzeSqd:
+    def test_default_analysis_contains_bounds_and_asymptotic(self):
+        analysis = analyze_sqd(num_servers=3, d=2, utilization=0.7, threshold=2)
+        assert analysis.lower_delay > 1.0
+        assert analysis.upper_delay is not None
+        assert analysis.lower_delay < analysis.upper_delay
+        assert analysis.asymptotic_delay > 1.0
+        assert analysis.simulation is None
+        assert analysis.exact is None
+
+    def test_lower_bound_methods_agree(self):
+        scalar = analyze_sqd(3, 2, 0.8, threshold=2, lower_bound_method=SolutionMethod.SCALAR_GEOMETRIC)
+        matrix = analyze_sqd(3, 2, 0.8, threshold=2, lower_bound_method="matrix-geometric")
+        assert scalar.lower_delay == pytest.approx(matrix.lower_delay, rel=1e-9)
+
+    def test_optional_simulation_and_exact(self):
+        analysis = analyze_sqd(
+            num_servers=3,
+            d=2,
+            utilization=0.6,
+            threshold=2,
+            run_simulation=True,
+            simulation_events=60_000,
+            simulation_seed=3,
+            compute_exact=True,
+            exact_buffer=20,
+        )
+        assert analysis.simulated_delay is not None
+        assert analysis.exact_delay is not None
+        # Sandwich: lower <= exact <= upper; simulation agrees with exact.
+        assert analysis.lower_delay <= analysis.exact_delay + 1e-9
+        assert analysis.exact_delay <= analysis.upper_delay + 1e-9
+        assert analysis.simulated_delay == pytest.approx(analysis.exact_delay, rel=0.1)
+
+    def test_unstable_upper_bound_reported_not_raised(self):
+        analysis = analyze_sqd(num_servers=3, d=2, utilization=0.9, threshold=1)
+        assert analysis.upper_bound is None
+        assert analysis.upper_bound_unstable
+        assert analysis.lower_delay > 1.0
+
+    def test_upper_bound_can_be_skipped(self):
+        analysis = analyze_sqd(3, 2, 0.7, threshold=2, compute_upper_bound=False)
+        assert analysis.upper_bound is None
+        assert not analysis.upper_bound_unstable
+
+    def test_summary_row_fields(self):
+        analysis = analyze_sqd(3, 2, 0.7, threshold=2)
+        row = analysis.summary_row()
+        assert row["N"] == 3 and row["d"] == 2 and row["T"] == 2
+        assert row["lower_bound"] == pytest.approx(analysis.lower_delay)
+        assert row["simulation"] is None
+
+    def test_unstable_model_rejected(self):
+        with pytest.raises(ValidationError):
+            analyze_sqd(3, 2, 1.0, threshold=2)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(Exception):
+            analyze_sqd(3, 2, 0.5, threshold=0)

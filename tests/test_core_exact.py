@@ -1,0 +1,55 @@
+"""Tests for the exact truncated SQ(d) oracle."""
+
+import pytest
+
+from repro.core.delay import mm1_sojourn_time, mmn_sojourn_time
+from repro.core.exact import exact_state_space_size, solve_exact_truncated
+from repro.core.model import SQDModel
+from repro.utils.validation import ValidationError
+
+
+class TestExactOracle:
+    def test_d1_two_servers_matches_mm1(self):
+        # SQ(1) = independent M/M/1 queues, so the mean sojourn time is 1/(1-rho).
+        model = SQDModel(num_servers=2, d=1, utilization=0.6)
+        solution = solve_exact_truncated(model, buffer_size=60)
+        assert solution.mean_delay == pytest.approx(mm1_sojourn_time(0.6), rel=1e-4)
+
+    def test_jsq_two_servers_between_mm2_and_mm1(self):
+        model = SQDModel(num_servers=2, d=2, utilization=0.7)
+        solution = solve_exact_truncated(model, buffer_size=40)
+        assert mmn_sojourn_time(2, 0.7) < solution.mean_delay < mm1_sojourn_time(0.7)
+
+    def test_more_choices_reduce_exact_delay(self):
+        delays = []
+        for d in (1, 2, 3):
+            model = SQDModel(num_servers=3, d=d, utilization=0.8)
+            delays.append(solve_exact_truncated(model, buffer_size=20).mean_delay)
+        assert delays[0] > delays[1] > delays[2]
+
+    def test_distribution_normalized_and_truncation_small(self):
+        model = SQDModel(num_servers=3, d=2, utilization=0.7)
+        solution = solve_exact_truncated(model, buffer_size=25)
+        assert sum(solution.distribution.values()) == pytest.approx(1.0, abs=1e-9)
+        assert solution.truncation_mass < 1e-6
+        # Every ordered state with all queues at most B is reachable.
+        assert solution.num_states == exact_state_space_size(model, 25)
+
+    def test_truncation_mass_decreases_with_buffer(self):
+        model = SQDModel(num_servers=2, d=2, utilization=0.9)
+        small = solve_exact_truncated(model, buffer_size=10)
+        large = solve_exact_truncated(model, buffer_size=30)
+        assert large.truncation_mass < small.truncation_mass
+
+    def test_state_space_size_formula(self):
+        model = SQDModel(num_servers=2, d=2, utilization=0.5)
+        # Ordered states with both queues at most B: C(B+2, 2).
+        assert exact_state_space_size(model, 10) == 66
+
+    def test_unstable_model_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_exact_truncated(SQDModel(2, 2, 1.1), buffer_size=10)
+
+    def test_invalid_buffer_rejected(self):
+        with pytest.raises(Exception):
+            solve_exact_truncated(SQDModel(2, 2, 0.5), buffer_size=0)

@@ -1,0 +1,92 @@
+"""Tests for the improved (Theorem 2/3) lower bound."""
+
+import pytest
+
+from repro.core.bound_models import LowerBoundModel
+from repro.core.improved_lower import (
+    general_decay_factor,
+    geometric_tail_decay,
+    poisson_decay_factor,
+    solve_improved_lower_bound,
+)
+from repro.core.model import SQDModel
+from repro.core.qbd_solver import SolutionMethod, solve_bound_model
+from repro.markov.arrival_processes import PoissonArrivals, RenewalArrivals
+from repro.markov.service_distributions import ErlangService
+from repro.utils.validation import ValidationError
+
+
+class TestDecayFactors:
+    def test_poisson_decay_is_rho_to_the_n(self):
+        model = SQDModel(4, 2, 0.8)
+        assert poisson_decay_factor(model) == pytest.approx(0.8 ** 4)
+
+    def test_poisson_decay_requires_stability(self):
+        with pytest.raises(ValidationError):
+            poisson_decay_factor(SQDModel(4, 2, 1.2))
+
+    def test_general_decay_reduces_to_poisson(self):
+        model = SQDModel(3, 2, 0.7)
+        poisson = PoissonArrivals(model.total_arrival_rate)
+        assert general_decay_factor(model, poisson) == pytest.approx(poisson_decay_factor(model), abs=1e-10)
+
+    def test_smoother_arrivals_give_smaller_decay_factor(self):
+        model = SQDModel(3, 2, 0.8)
+        erlang_arrivals = RenewalArrivals(ErlangService(stages=4, mean=1.0 / model.total_arrival_rate))
+        assert general_decay_factor(model, erlang_arrivals) < poisson_decay_factor(model)
+
+
+class TestTheorem3AgainstTheorem1:
+    @pytest.mark.parametrize("num_servers,d,threshold", [(3, 2, 2), (3, 2, 3), (4, 2, 2), (4, 3, 2), (5, 5, 2)])
+    def test_agreement_across_configurations(self, num_servers, d, threshold):
+        model = SQDModel(num_servers, d, 0.75)
+        blocks = LowerBoundModel(model, threshold).qbd_blocks()
+        matrix_solution = solve_bound_model(blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        scalar_solution = solve_improved_lower_bound(model, threshold, blocks=blocks)
+        assert scalar_solution.mean_delay == pytest.approx(matrix_solution.mean_delay, rel=1e-6)
+        assert scalar_solution.mean_waiting_jobs == pytest.approx(matrix_solution.mean_waiting_jobs, rel=1e-6)
+
+    def test_agreement_at_high_utilization(self):
+        model = SQDModel(3, 2, 0.95)
+        blocks = LowerBoundModel(model, 2).qbd_blocks()
+        matrix_solution = solve_bound_model(blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        scalar_solution = solve_improved_lower_bound(model, 2, blocks=blocks)
+        assert scalar_solution.mean_delay == pytest.approx(matrix_solution.mean_delay, rel=1e-8)
+
+    def test_blocks_are_rebuilt_when_not_supplied(self):
+        model = SQDModel(3, 2, 0.6)
+        solution = solve_improved_lower_bound(model, 2)
+        assert solution.mean_delay > 1.0
+
+    def test_unstable_model_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_improved_lower_bound(SQDModel(3, 2, 1.05), 2)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(Exception):
+            solve_improved_lower_bound(SQDModel(3, 2, 0.5), 0)
+
+
+class TestRenewalExtension:
+    def test_poisson_input_falls_back_to_theorem_3(self):
+        model = SQDModel(3, 2, 0.7)
+        poisson = PoissonArrivals(model.total_arrival_rate)
+        assert geometric_tail_decay(model, poisson) == pytest.approx(poisson_decay_factor(model))
+        assert geometric_tail_decay(model) == pytest.approx(poisson_decay_factor(model))
+
+    def test_smoother_arrivals_reduce_the_tail_decay(self):
+        # Theorem 2: the geometric tail of the lower bound model decays by
+        # sigma^N per block; smoother-than-Poisson arrivals shrink sigma and
+        # hence lighten the tail.
+        model = SQDModel(3, 2, 0.85)
+        erlang_arrivals = RenewalArrivals(ErlangService(stages=4, mean=1.0 / model.total_arrival_rate))
+        assert geometric_tail_decay(model, erlang_arrivals) < geometric_tail_decay(model)
+
+    def test_burstier_arrivals_increase_the_tail_decay(self):
+        from repro.markov.service_distributions import HyperexponentialService
+
+        model = SQDModel(3, 2, 0.85)
+        bursty = RenewalArrivals(
+            HyperexponentialService.balanced_two_phase(mean=1.0 / model.total_arrival_rate, scv=4.0)
+        )
+        assert geometric_tail_decay(model, bursty) > geometric_tail_decay(model)

@@ -1,0 +1,64 @@
+"""Tests for the SQDModel parameter object."""
+
+import pytest
+
+from repro.core.model import SQDModel
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_valid_model(self):
+        model = SQDModel(num_servers=6, d=2, utilization=0.9)
+        assert model.total_arrival_rate == pytest.approx(5.4)
+        assert model.per_server_arrival_rate == pytest.approx(0.9)
+        assert model.is_stable
+
+    def test_d_must_not_exceed_n(self):
+        with pytest.raises(ValidationError):
+            SQDModel(num_servers=3, d=4, utilization=0.5)
+
+    def test_d_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            SQDModel(num_servers=3, d=0, utilization=0.5)
+
+    def test_utilization_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            SQDModel(num_servers=3, d=2, utilization=0.0)
+
+    def test_service_rate_scales_arrival_rate(self):
+        model = SQDModel(num_servers=4, d=2, utilization=0.5, service_rate=2.0)
+        assert model.total_arrival_rate == pytest.approx(4.0)
+
+
+class TestDerivedProperties:
+    def test_extreme_policy_flags(self):
+        assert SQDModel(5, 5, 0.5).is_jsq
+        assert SQDModel(5, 1, 0.5).is_random
+        middle = SQDModel(5, 2, 0.5)
+        assert not middle.is_jsq and not middle.is_random
+
+    def test_stability_flag_and_guard(self):
+        stable = SQDModel(3, 2, 0.99)
+        unstable = SQDModel(3, 2, 1.1)
+        assert stable.is_stable
+        assert not unstable.is_stable
+        stable.require_stable()
+        with pytest.raises(ValidationError):
+            unstable.require_stable()
+
+    def test_with_utilization_copies_other_fields(self):
+        model = SQDModel(4, 3, 0.5, service_rate=2.0)
+        changed = model.with_utilization(0.8)
+        assert changed.utilization == 0.8
+        assert changed.num_servers == 4 and changed.d == 3 and changed.service_rate == 2.0
+        assert model.utilization == 0.5  # original unchanged (frozen dataclass)
+
+    def test_with_choices(self):
+        model = SQDModel(4, 2, 0.5)
+        assert model.with_choices(4).is_jsq
+
+    def test_model_is_hashable_and_frozen(self):
+        model = SQDModel(3, 2, 0.5)
+        assert hash(model) == hash(SQDModel(3, 2, 0.5))
+        with pytest.raises(Exception):
+            model.d = 3

@@ -1,0 +1,139 @@
+"""Tests for the stochastic-ordering (Section III) machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.bound_models import LowerBoundModel, UpperBoundModel
+from repro.core.model import SQDModel
+from repro.core.ordering import (
+    cost_function_iteration,
+    default_cost_function,
+    original_transition_map,
+    precedence_pairs_within,
+    total_jobs_cost_function,
+    uniformized_step_probabilities,
+    verify_bound_dominance,
+    verify_monotonicity_on_elementary_pairs,
+)
+from repro.core.state import precedes
+from repro.core.state_space import enumerate_restricted_states
+
+
+@pytest.fixture
+def model():
+    return SQDModel(num_servers=3, d=2, utilization=0.7)
+
+
+def large_state_set(threshold, max_jobs):
+    return enumerate_restricted_states(3, threshold, max_jobs)
+
+
+class TestUniformization:
+    def test_step_probabilities_sum_to_one(self, model):
+        transitions = original_transition_map(model)((2, 1, 0))
+        rate = model.total_arrival_rate + 3 * model.service_rate
+        probabilities = uniformized_step_probabilities(transitions, rate, (2, 1, 0))
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in probabilities.values())
+
+    def test_insufficient_rate_rejected(self, model):
+        transitions = original_transition_map(model)((2, 1, 0))
+        with pytest.raises(ValueError):
+            uniformized_step_probabilities(transitions, 0.1, (2, 1, 0))
+
+
+class TestCostIteration:
+    def test_values_start_at_zero_and_grow(self, model):
+        states = large_state_set(threshold=6, max_jobs=8)
+        rate = model.total_arrival_rate + 3 * model.service_rate
+        values = cost_function_iteration(states, original_transition_map(model), default_cost_function, 10, rate)
+        empty = values[(0, 0, 0)]
+        assert empty[0] == 0.0
+        assert np.all(np.diff(empty) >= -1e-12)
+
+    def test_costlier_cost_function_gives_larger_values(self, model):
+        states = large_state_set(threshold=6, max_jobs=6)
+        rate = model.total_arrival_rate + 3 * model.service_rate
+        waiting = cost_function_iteration(states, original_transition_map(model), default_cost_function, 8, rate)
+        totals = cost_function_iteration(states, original_transition_map(model), total_jobs_cost_function, 8, rate)
+        for state in waiting:
+            assert np.all(totals[state] >= waiting[state] - 1e-12)
+
+
+class TestMonotonicity:
+    def test_eq7_holds_for_original_chain(self, model):
+        # v_n(m) <= v_n(m') for elementary precedence pairs — the key lemma of
+        # Section III, checked numerically on a truncated state set.  The
+        # comparison is limited to states with enough headroom (6 jobs, 8
+        # iterations, 14-job truncation) that truncation cannot bias it.
+        states = large_state_set(threshold=14, max_jobs=14)
+        assert verify_monotonicity_on_elementary_pairs(
+            model,
+            states,
+            original_transition_map(model),
+            num_iterations=8,
+            max_total_jobs_for_comparison=6,
+        )
+
+    def test_eq7_holds_for_total_jobs_cost(self, model):
+        # Eq. (7) is a statement about the *original* chain's value function;
+        # it holds for any cost that is monotone along the precedence order,
+        # in particular for the total-jobs cost as well as the waiting-jobs
+        # cost used for the delay bounds.
+        states = large_state_set(threshold=14, max_jobs=14)
+        assert verify_monotonicity_on_elementary_pairs(
+            model,
+            states,
+            original_transition_map(model),
+            num_iterations=8,
+            cost_function=total_jobs_cost_function,
+            max_total_jobs_for_comparison=6,
+        )
+
+
+class TestBoundDominance:
+    def test_cost_iterates_are_sandwiched_by_bound_models(self, model):
+        # The heart of Section III: the lower bound chain's expected cost never
+        # exceeds the original chain's, which never exceeds the upper bound
+        # chain's, iteration by iteration and state by state.  The original
+        # chain is enumerated without the imbalance restriction (its state
+        # space is all ordered states), and the comparison is restricted to
+        # states far enough below the job-count truncation to be exact.
+        threshold = 2
+        iterations = 8
+        max_jobs = 16
+        compare_up_to = max_jobs - iterations
+        original_states = enumerate_restricted_states(3, max_jobs, max_jobs)
+        bound_states = enumerate_restricted_states(3, threshold, max_jobs)
+        rate = model.total_arrival_rate + 3 * model.service_rate
+
+        original_values = cost_function_iteration(
+            original_states, original_transition_map(model), default_cost_function, iterations, rate
+        )
+        lower_values = cost_function_iteration(
+            bound_states, LowerBoundModel(model, threshold).transition_map, default_cost_function, iterations, rate
+        )
+        upper_values = cost_function_iteration(
+            bound_states, UpperBoundModel(model, threshold).transition_map, default_cost_function, iterations, rate
+        )
+
+        assert verify_bound_dominance(
+            original_values, upper_values, direction="upper", max_total_jobs_for_comparison=compare_up_to
+        )
+        assert verify_bound_dominance(
+            original_values, lower_values, direction="lower", max_total_jobs_for_comparison=compare_up_to
+        )
+
+    def test_direction_argument_validated(self):
+        with pytest.raises(ValueError):
+            verify_bound_dominance({}, {}, direction="middle")
+
+
+class TestPrecedencePairs:
+    def test_pairs_are_valid(self):
+        states = [(1, 1, 1), (2, 1, 0), (2, 2, 2), (3, 0, 0)]
+        pairs = precedence_pairs_within(states)
+        assert ((1, 1, 1), (2, 1, 0)) in pairs
+        for first, second in pairs:
+            assert precedes(first, second)
+            assert first != second

@@ -1,0 +1,139 @@
+"""Tests for the matrix-geometric bound solver (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bound_models import LowerBoundModel, UpperBoundModel
+from repro.core.model import SQDModel
+from repro.core.qbd_solver import (
+    SolutionMethod,
+    UnstableBoundModelError,
+    decay_rate,
+    solve_bound_model,
+    upper_bound_is_stable,
+)
+from repro.core.state import total_jobs
+
+
+class TestLowerBoundSolution:
+    def test_probability_mass_is_one(self, small_lower_blocks):
+        solution = solve_bound_model(small_lower_blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        assert solution.total_probability_mass() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(solution.pi_boundary >= 0)
+        assert np.all(solution.pi_block0 >= 0)
+        assert np.all(solution.pi_block1 >= 0)
+
+    def test_balance_residual_is_small(self, small_lower_blocks):
+        solution = solve_bound_model(small_lower_blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        assert solution.balance_residual < 1e-8
+        assert solution.g_residual < 1e-8
+        assert solution.r_residual < 1e-8
+
+    def test_g_converges_in_few_iterations(self, small_lower_blocks):
+        # The paper reports the logarithmic-reduction algorithm needs k <= 6
+        # iterations for its configurations.
+        solution = solve_bound_model(small_lower_blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        assert solution.g_iterations <= 8
+
+    def test_rate_matrix_spectral_radius_is_rho_to_the_n(self, small_lower_blocks):
+        # Theorem 3 in disguise: the tail of the lower bound model decays by
+        # rho^N per block of N jobs.
+        model = small_lower_blocks.model
+        radius = decay_rate(small_lower_blocks)
+        assert radius == pytest.approx(model.utilization ** model.num_servers, abs=1e-8)
+
+    def test_scalar_and_matrix_methods_agree(self, small_lower_blocks):
+        matrix_solution = solve_bound_model(small_lower_blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        scalar_solution = solve_bound_model(
+            small_lower_blocks,
+            method=SolutionMethod.SCALAR_GEOMETRIC,
+            decay_factor=small_lower_blocks.model.utilization ** 3,
+        )
+        assert scalar_solution.mean_delay == pytest.approx(matrix_solution.mean_delay, abs=1e-8)
+        assert scalar_solution.mean_jobs_in_system == pytest.approx(matrix_solution.mean_jobs_in_system, abs=1e-8)
+
+    def test_delay_decomposition_consistent(self, small_lower_blocks):
+        solution = solve_bound_model(small_lower_blocks)
+        model = small_lower_blocks.model
+        assert solution.mean_sojourn_time == pytest.approx(solution.mean_waiting_time + 1.0 / model.service_rate)
+        assert solution.mean_waiting_time == pytest.approx(
+            solution.mean_waiting_jobs / model.total_arrival_rate
+        )
+        assert solution.mean_delay == solution.mean_sojourn_time
+
+    def test_boundary_probabilities_keyed_by_state(self, small_lower_blocks):
+        solution = solve_bound_model(small_lower_blocks)
+        probabilities = solution.boundary_probabilities()
+        assert (0, 0, 0) in probabilities
+        assert all(p >= 0 for p in probabilities.values())
+
+    def test_block_probabilities_decay_geometrically(self, small_lower_blocks):
+        solution = solve_bound_model(small_lower_blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        block1 = sum(solution.block_probabilities(1).values())
+        block3 = sum(solution.block_probabilities(3).values())
+        rho_n = small_lower_blocks.model.utilization ** 3
+        assert block3 == pytest.approx(block1 * rho_n ** 2, rel=1e-6)
+
+    def test_low_utilization_delay_close_to_service_time(self):
+        model = SQDModel(3, 2, 0.05)
+        solution = solve_bound_model(LowerBoundModel(model, 2).qbd_blocks())
+        assert solution.mean_delay == pytest.approx(1.0, abs=0.05)
+
+    def test_delay_increases_with_utilization(self):
+        delays = []
+        for utilization in (0.3, 0.6, 0.9):
+            model = SQDModel(3, 2, utilization)
+            delays.append(solve_bound_model(LowerBoundModel(model, 2).qbd_blocks()).mean_delay)
+        assert delays[0] < delays[1] < delays[2]
+
+
+class TestUpperBoundSolution:
+    def test_upper_bound_above_lower_bound(self, small_lower_blocks, small_upper_blocks):
+        lower = solve_bound_model(small_lower_blocks)
+        upper = solve_bound_model(small_upper_blocks)
+        assert upper.mean_delay > lower.mean_delay
+
+    def test_upper_bound_tightens_with_threshold(self):
+        model = SQDModel(3, 2, 0.7)
+        upper_t2 = solve_bound_model(UpperBoundModel(model, 2).qbd_blocks()).mean_delay
+        upper_t3 = solve_bound_model(UpperBoundModel(model, 3).qbd_blocks()).mean_delay
+        upper_t4 = solve_bound_model(UpperBoundModel(model, 4).qbd_blocks()).mean_delay
+        assert upper_t2 > upper_t3 > upper_t4
+
+    def test_unstable_upper_bound_raises(self):
+        # With T=1 the blocking rule wastes enough capacity that the drift
+        # condition fails well below utilization 1.
+        model = SQDModel(3, 2, 0.9)
+        blocks = UpperBoundModel(model, 1).qbd_blocks()
+        assert not upper_bound_is_stable(blocks)
+        with pytest.raises(UnstableBoundModelError):
+            solve_bound_model(blocks)
+
+    def test_stability_helper_matches_drift_sign(self, small_upper_blocks):
+        assert upper_bound_is_stable(small_upper_blocks) == (
+            solve_bound_model(small_upper_blocks).drift < 0
+        )
+
+    def test_scalar_method_rejected_for_upper_bound(self, small_upper_blocks):
+        with pytest.raises(ValueError):
+            solve_bound_model(small_upper_blocks, method=SolutionMethod.SCALAR_GEOMETRIC)
+
+
+class TestSolutionIntrospection:
+    def test_mean_jobs_consistent_with_distribution_head(self, small_lower_blocks):
+        # Recompute the mean number of jobs by brute-force summation over many
+        # blocks and compare with the closed-form geometric sums.
+        solution = solve_bound_model(small_lower_blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        total = 0.0
+        for state, probability in solution.boundary_probabilities().items():
+            total += probability * total_jobs(state)
+        for q in range(0, 60):
+            for state, probability in solution.block_probabilities(q).items():
+                total += probability * total_jobs(state)
+        assert total == pytest.approx(solution.mean_jobs_in_system, rel=1e-6)
+
+    def test_method_recorded_on_solution(self, small_lower_blocks):
+        solution = solve_bound_model(small_lower_blocks, method="scalar-geometric", decay_factor=0.7 ** 3)
+        assert solution.method is SolutionMethod.SCALAR_GEOMETRIC
+        assert solution.decay_factor == pytest.approx(0.343)
+        assert solution.rate_matrix is None

@@ -1,0 +1,149 @@
+"""Tests for ordered states and the precedence order."""
+
+import pytest
+
+from repro.core.state import (
+    busy_servers,
+    canonical_state,
+    decrement_position,
+    elementary_successors,
+    imbalance,
+    increment_position,
+    is_ordered,
+    is_valid_state,
+    partial_sums,
+    precedence_decomposition,
+    precedes,
+    shift_state,
+    strictly_precedes,
+    tie_groups,
+    total_jobs,
+    waiting_jobs,
+)
+
+
+class TestCanonicalState:
+    def test_sorts_descending(self):
+        assert canonical_state([1, 3, 2]) == (3, 2, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            canonical_state([1, -1])
+
+    def test_idempotent(self):
+        state = canonical_state([5, 5, 0])
+        assert canonical_state(state) == state
+
+
+class TestBasicQueries:
+    def test_totals_and_waiting(self):
+        state = (3, 1, 0)
+        assert total_jobs(state) == 4
+        assert waiting_jobs(state) == 2
+        assert busy_servers(state) == 2
+        assert imbalance(state) == 3
+
+    def test_partial_sums(self):
+        assert partial_sums((3, 2, 1)) == (3, 5, 6)
+
+    def test_is_ordered(self):
+        assert is_ordered((3, 3, 1))
+        assert not is_ordered((1, 2))
+        assert not is_ordered((1, -1))
+
+    def test_tie_groups(self):
+        assert tie_groups((3, 2, 2, 0)) == [(0, 0, 3), (1, 2, 2), (3, 3, 0)]
+        assert tie_groups((2, 2, 2)) == [(0, 2, 2)]
+        assert tie_groups((4,)) == [(0, 0, 4)]
+
+    def test_increment_and_decrement_preserve_order(self):
+        state = (2, 2, 1)
+        assert increment_position(state, 0) == (3, 2, 1)
+        assert decrement_position(state, 2) == (2, 2, 0)
+        assert increment_position((1, 1, 1), 2) == (2, 1, 1)  # canonicalized
+
+    def test_decrement_empty_position_rejected(self):
+        with pytest.raises(ValueError):
+            decrement_position((1, 0), 1)
+
+    def test_shift_state(self):
+        assert shift_state((2, 1, 0), 1) == (3, 2, 1)
+        with pytest.raises(ValueError):
+            shift_state((1, 0), -1)
+
+    def test_is_valid_state(self):
+        assert is_valid_state((3, 2, 1), 3)
+        assert not is_valid_state((3, 2, 1), 4)
+        assert not is_valid_state((1, 2, 3), 3)
+        assert is_valid_state((3, 2, 1), 3, threshold=2)
+        assert not is_valid_state((3, 2, 0), 3, threshold=2)
+
+
+class TestPrecedenceOrder:
+    def test_fewer_jobs_in_long_queues_precedes(self):
+        # (m, m') in P means m is at least as preferable as m'.
+        assert precedes((1, 1, 0), (2, 1, 0))
+        assert precedes((2, 2, 2), (3, 3, 0))
+        assert not precedes((3, 0, 0), (2, 2, 2))  # longest queue has more jobs
+
+    def test_balanced_state_precedes_unbalanced_with_same_total(self):
+        assert precedes((2, 2, 2), (3, 2, 1))
+        assert precedes((3, 2, 1), (4, 1, 1))
+        assert precedes((2, 2, 2), (6, 0, 0))
+
+    def test_reflexive_and_antisymmetric(self):
+        assert precedes((2, 1), (2, 1))
+        assert not strictly_precedes((2, 1), (2, 1))
+        assert strictly_precedes((1, 1), (2, 1))
+        assert not (strictly_precedes((2, 1), (3, 0)) and strictly_precedes((3, 0), (2, 1)))
+
+    def test_transitivity_on_a_chain(self):
+        a, b, c = (1, 1, 1), (2, 1, 1), (2, 2, 1)
+        assert precedes(a, b) and precedes(b, c) and precedes(a, c)
+
+    def test_incomparable_pair(self):
+        # (2,0) vs (1,1): partial sums (2,2) vs (1,2) — (1,1) precedes (2,0),
+        # but neither dominates the other the opposite way.
+        assert precedes((1, 1), (2, 0))
+        assert not precedes((2, 0), (1, 1))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            precedes((1, 1), (1, 1, 1))
+
+
+class TestElementaryPairsAndDecomposition:
+    def test_elementary_successors_of_distinct_state(self):
+        successors = elementary_successors((3, 2, 1))
+        assert (3, 2, 2) in successors          # m + e_N
+        assert (4, 1, 1) in successors          # m + e_1 - e_2
+        assert (3, 3, 0) in successors          # m + e_2 - e_3
+        assert all(precedes((3, 2, 1), s) for s in successors)
+
+    def test_elementary_successors_skip_invalid_moves(self):
+        successors = elementary_successors((2, 2, 0))
+        # m + e_2 - e_3 = (2, 3, -1) is invalid and must be skipped.
+        assert all(min(s) >= 0 and is_ordered(s) for s in successors)
+
+    def test_decomposition_coefficients_nonnegative_iff_precedence(self):
+        m, m_prime = (2, 1, 0), (3, 2, 1)
+        coefficients = precedence_decomposition(m, m_prime)
+        assert all(c >= 0 for c in coefficients)
+        assert precedes(m, m_prime)
+
+        m, m_prime = (3, 0, 0), (2, 2, 1)
+        coefficients = precedence_decomposition(m, m_prime)
+        assert any(c < 0 for c in coefficients)
+        assert not precedes(m, m_prime)
+
+    def test_decomposition_reconstructs_target(self):
+        # Eq. (6): m' = m + s_N e_N + sum_j s_j (e_j - e_{j+1}).
+        m, m_prime = (2, 1, 1), (3, 3, 1)
+        s = precedence_decomposition(m, m_prime)
+        n = len(m)
+        reconstructed = list(m)
+        reconstructed[n - 1] += s[n - 1]
+        for j in range(n - 1):
+            reconstructed[j] += s[j]
+            reconstructed[j + 1] -= s[j]
+        assert tuple(reconstructed) == m_prime

@@ -1,0 +1,123 @@
+"""Tests for the experiment harnesses (Figures 9, 10 and the ablations)."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_improved_vs_matrix_geometric,
+    run_power_of_d_gap,
+    run_threshold_sweep,
+)
+from repro.experiments.figure9 import Figure9Config, figure9a_config, figure9b_config, run_figure9
+from repro.experiments.figure10 import Figure10Config, panel_config, run_figure10
+
+
+class TestFigure9Harness:
+    def test_small_sweep_produces_all_series(self):
+        config = Figure9Config(
+            utilization=0.75,
+            choices=(2, 5),
+            server_counts=(5, 10, 20),
+            num_events=20_000,
+        )
+        result = run_figure9(config)
+        assert set(result.relative_errors) == {2, 5}
+        assert len(result.relative_errors[2]) == 3
+        # d=5 skips N < 5 — here none are skipped.
+        assert len(result.relative_errors[5]) == 3
+        assert all(error >= 0 for errors in result.relative_errors.values() for error in errors)
+
+    def test_server_counts_below_d_are_skipped(self):
+        config = Figure9Config(utilization=0.75, choices=(10,), server_counts=(5, 10, 15), num_events=10_000)
+        result = run_figure9(config)
+        assert result.server_counts_for(10) == [10, 15]
+        assert len(result.relative_errors[10]) == 2
+
+    def test_error_is_large_for_small_n_high_load(self):
+        # The paper's headline observation: at rho=0.95 and small N the
+        # asymptotic approximation is off by tens of percent.
+        config = Figure9Config(utilization=0.95, choices=(2,), server_counts=(5, 150), num_events=150_000)
+        result = run_figure9(config)
+        error_small_n = result.relative_errors[2][0]
+        error_large_n = result.relative_errors[2][1]
+        assert error_small_n > 10.0
+        assert error_large_n < error_small_n
+
+    def test_named_configs(self):
+        assert figure9a_config().utilization == 0.75
+        assert figure9b_config().utilization == 0.95
+
+    def test_table_rendering(self):
+        config = Figure9Config(utilization=0.75, choices=(2,), server_counts=(5, 10), num_events=10_000)
+        text = run_figure9(config).as_table()
+        assert "Figure 9" in text and "d=2 err%" in text
+
+
+class TestFigure10Harness:
+    def test_small_panel_runs_and_sandwiches(self):
+        config = Figure10Config(
+            num_servers=3,
+            threshold=2,
+            utilizations=(0.3, 0.6, 0.8),
+            simulation_events=80_000,
+        )
+        result = run_figure10(config)
+        assert len(result.lower_bound) == 3
+        assert result.sandwich_holds(slack=0.05)
+        # Lower bound and asymptotic increase with utilization.
+        assert result.lower_bound == sorted(result.lower_bound)
+        assert result.asymptotic == sorted(result.asymptotic)
+
+    def test_upper_bound_reports_inf_when_unstable(self):
+        config = Figure10Config(
+            num_servers=3,
+            threshold=1,
+            utilizations=(0.9,),
+            run_simulation=False,
+        )
+        result = run_figure10(config)
+        assert math.isinf(result.upper_bound[0])
+
+    def test_simulation_can_be_disabled(self):
+        config = Figure10Config(num_servers=3, threshold=2, utilizations=(0.5,), run_simulation=False)
+        result = run_figure10(config)
+        assert math.isnan(result.simulation[0])
+
+    def test_panel_configs_match_paper(self):
+        assert (panel_config("a").num_servers, panel_config("a").threshold) == (3, 2)
+        assert (panel_config("b").num_servers, panel_config("b").threshold) == (3, 3)
+        assert (panel_config("c").num_servers, panel_config("c").threshold) == (6, 3)
+        assert (panel_config("d").num_servers, panel_config("d").threshold) == (12, 3)
+        with pytest.raises(ValueError):
+            panel_config("e")
+
+    def test_table_rendering(self):
+        config = Figure10Config(num_servers=3, threshold=2, utilizations=(0.5,), run_simulation=False)
+        text = run_figure10(config).as_table()
+        assert "Figure 10" in text and "utilization" in text
+
+
+class TestAblations:
+    def test_threshold_sweep_monotone_upper_bounds(self):
+        result = run_threshold_sweep(
+            num_servers=3, d=2, utilization=0.7, thresholds=(2, 3), simulation_events=50_000
+        )
+        assert result.block_sizes == [6, 10]
+        finite_uppers = [u for u in result.upper_bounds if math.isfinite(u)]
+        assert finite_uppers == sorted(finite_uppers, reverse=True)
+        assert all(lower <= result.simulation * 1.05 for lower in result.lower_bounds)
+        assert "Ablation A1" in result.as_table()
+
+    def test_improved_vs_matrix_geometric_agree(self):
+        result = run_improved_vs_matrix_geometric(num_servers=3, d=2, threshold=2, utilizations=(0.5, 0.8))
+        assert result.max_absolute_difference < 1e-8
+        assert "Theorem 3" in result.as_table()
+
+    def test_power_of_d_gap_orders_policies(self):
+        result = run_power_of_d_gap(
+            num_servers=6, utilization=0.85, choices=(1, 2), threshold=2, simulation_events=80_000
+        )
+        assert result.simulations[0] > result.simulations[1]
+        assert result.lower_bounds[0] > result.lower_bounds[1]
+        assert "power-of-d" in result.as_table()

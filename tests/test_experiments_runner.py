@@ -1,0 +1,70 @@
+"""Tests for the generic sweep runner and its export helpers."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.runner import SweepConfig, SweepResult, run_sweep
+
+
+class TestSweepConfig:
+    def test_grid_expansion_skips_invalid_combinations(self):
+        config = SweepConfig(server_counts=(2, 4), choices=(2, 3), utilizations=(0.5,), thresholds=(2,))
+        configurations = config.configurations()
+        # d=3 with N=2 is skipped.
+        assert {"num_servers": 2, "d": 3, "utilization": 0.5, "threshold": 2} not in configurations
+        assert len(configurations) == 3
+
+    def test_grid_is_cartesian(self):
+        config = SweepConfig(server_counts=(3,), choices=(2,), utilizations=(0.3, 0.6), thresholds=(1, 2))
+        assert len(config.configurations()) == 4
+
+
+class TestRunSweep:
+    def test_sweep_produces_one_record_per_configuration(self):
+        config = SweepConfig(server_counts=(3,), choices=(2,), utilizations=(0.4, 0.7), thresholds=(2,))
+        result = run_sweep(config)
+        assert len(result.records) == 2
+        assert result.column("utilization") == [0.4, 0.7]
+        assert all(record["lower_bound"] > 1.0 for record in result.records)
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        config = SweepConfig(server_counts=(3,), choices=(2,), utilizations=(0.5,), thresholds=(2,))
+        run_sweep(config, progress=lambda i, total, parameters: calls.append((i, total)))
+        assert calls == [(0, 1)]
+
+    def test_table_rendering(self):
+        config = SweepConfig(server_counts=(3,), choices=(2,), utilizations=(0.5,), thresholds=(2,))
+        result = run_sweep(config)
+        text = result.as_table(title="sweep")
+        assert "lower_bound" in text and "sweep" in text
+
+    def test_empty_result_renders_placeholder(self):
+        result = SweepResult(config=SweepConfig())
+        assert result.as_table() == "(empty sweep)"
+
+
+class TestExport:
+    @pytest.fixture
+    def small_result(self):
+        config = SweepConfig(server_counts=(3,), choices=(2,), utilizations=(0.5, 0.8), thresholds=(2,))
+        return run_sweep(config)
+
+    def test_csv_round_trip(self, small_result, tmp_path):
+        path = small_result.to_csv(tmp_path / "sweep.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert float(rows[0]["lower_bound"]) > 1.0
+
+    def test_json_round_trip(self, small_result, tmp_path):
+        path = small_result.to_json(tmp_path / "sweep.json")
+        data = json.loads(path.read_text())
+        assert len(data) == 2
+        assert data[1]["utilization"] == pytest.approx(0.8)
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepResult(config=SweepConfig()).to_csv(tmp_path / "empty.csv")

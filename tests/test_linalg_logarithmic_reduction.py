@@ -1,0 +1,105 @@
+"""Tests for the QBD matrix-geometric machinery (Latouche–Ramaswami)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.logarithmic_reduction import (
+    QBDSolveError,
+    is_qbd_positive_recurrent,
+    qbd_drift,
+    qbd_residual,
+    rate_matrix_from_G,
+    rate_matrix_residual,
+    solve_G_functional_iteration,
+    solve_G_logarithmic_reduction,
+)
+
+
+def mm1_blocks(lam: float, mu: float):
+    """The scalar (1x1 block) QBD of an M/M/1 queue."""
+    A0 = np.array([[lam]])
+    A1 = np.array([[-(lam + mu)]])
+    A2 = np.array([[mu]])
+    return A0, A1, A2
+
+
+def mmc_like_blocks():
+    """A small 2-phase QBD with a known-stable structure (MAP/M/1-like)."""
+    D0 = np.array([[-3.0, 1.0], [0.5, -2.0]])
+    D1 = np.array([[1.5, 0.5], [0.5, 1.0]])
+    mu = 4.0
+    A0 = D1
+    A1 = D0 - mu * np.eye(2)
+    A2 = mu * np.eye(2)
+    return A0, A1, A2
+
+
+class TestMM1Case:
+    def test_G_is_one_for_stable_mm1(self):
+        A0, A1, A2 = mm1_blocks(0.5, 1.0)
+        result = solve_G_logarithmic_reduction(A0, A1, A2)
+        assert result.G.shape == (1, 1)
+        assert result.G[0, 0] == pytest.approx(1.0, abs=1e-10)
+
+    def test_R_equals_rho_for_mm1(self):
+        lam, mu = 0.7, 1.0
+        A0, A1, A2 = mm1_blocks(lam, mu)
+        result = solve_G_logarithmic_reduction(A0, A1, A2)
+        R = rate_matrix_from_G(A0, A1, result.G)
+        assert R[0, 0] == pytest.approx(lam / mu, abs=1e-10)
+
+    def test_drift_sign_matches_stability(self):
+        stable = mm1_blocks(0.5, 1.0)
+        unstable = mm1_blocks(1.5, 1.0)
+        assert qbd_drift(*stable) < 0
+        assert qbd_drift(*unstable) > 0
+        assert is_qbd_positive_recurrent(*stable)
+        assert not is_qbd_positive_recurrent(*unstable)
+
+
+class TestPhaseTypeCase:
+    def test_logarithmic_reduction_solves_fixed_point(self):
+        A0, A1, A2 = mmc_like_blocks()
+        result = solve_G_logarithmic_reduction(A0, A1, A2)
+        assert qbd_residual(A0, A1, A2, result.G) < 1e-9
+        # G of a positive recurrent QBD is stochastic.
+        assert np.allclose(result.G.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_agrees_with_functional_iteration(self):
+        A0, A1, A2 = mmc_like_blocks()
+        log_red = solve_G_logarithmic_reduction(A0, A1, A2)
+        iterate = solve_G_functional_iteration(A0, A1, A2, tolerance=1e-13)
+        assert np.allclose(log_red.G, iterate.G, atol=1e-8)
+
+    def test_logarithmic_reduction_converges_quickly(self):
+        A0, A1, A2 = mmc_like_blocks()
+        result = solve_G_logarithmic_reduction(A0, A1, A2)
+        assert result.iterations <= 10  # the paper reports k <= 6 for its configurations
+
+    def test_rate_matrix_satisfies_its_equation(self):
+        A0, A1, A2 = mmc_like_blocks()
+        result = solve_G_logarithmic_reduction(A0, A1, A2)
+        R = rate_matrix_from_G(A0, A1, result.G)
+        assert rate_matrix_residual(A0, A1, A2, R) < 1e-9
+        assert np.all(R >= 0)
+        assert np.max(np.abs(np.linalg.eigvals(R))) < 1.0
+
+
+class TestValidation:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            solve_G_logarithmic_reduction(np.eye(2), np.eye(3), np.eye(2))
+
+    def test_negative_rate_blocks_rejected(self):
+        A0 = np.array([[-0.5]])
+        A1 = np.array([[-1.0]])
+        A2 = np.array([[1.0]])
+        with pytest.raises(ValueError):
+            solve_G_logarithmic_reduction(A0, A1, A2)
+
+    def test_positive_row_sum_rejected(self):
+        A0 = np.array([[1.0]])
+        A1 = np.array([[-1.0]])
+        A2 = np.array([[1.0]])  # rows of A0+A1+A2 sum to +1: not a generator slice
+        with pytest.raises(ValueError):
+            solve_G_logarithmic_reduction(A0, A1, A2)

@@ -1,0 +1,103 @@
+"""Tests for repro.linalg.solvers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.solvers import (
+    StationarySolveError,
+    solve_constrained_left_nullspace,
+    solve_left_nullspace,
+    stationary_from_generator,
+    stationary_from_transition_matrix,
+)
+
+
+def two_state_generator(a: float, b: float) -> np.ndarray:
+    return np.array([[-a, a], [b, -b]])
+
+
+class TestSolveLeftNullspace:
+    def test_two_state_generator(self):
+        Q = two_state_generator(2.0, 3.0)
+        x = solve_left_nullspace(Q)
+        assert np.allclose(x @ Q, 0.0, atol=1e-10)
+        assert np.linalg.norm(x) > 0
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            solve_left_nullspace(np.ones((2, 3)))
+
+
+class TestConstrainedNullspace:
+    def test_normalization_with_weights(self):
+        Q = two_state_generator(1.0, 1.0)
+        weights = np.array([2.0, 2.0])
+        x = solve_constrained_left_nullspace(Q, weights)
+        assert np.isclose(x @ weights, 1.0)
+        assert np.allclose(x @ Q, 0.0, atol=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_constrained_left_nullspace(np.eye(2), np.ones(3))
+
+
+class TestStationaryFromGenerator:
+    def test_two_state_birth_death(self):
+        Q = two_state_generator(2.0, 3.0)
+        pi = stationary_from_generator(Q)
+        assert np.allclose(pi, [3 / 5, 2 / 5])
+
+    def test_mm1_truncated_generator_is_geometric(self):
+        lam, mu, size = 0.6, 1.0, 30
+        Q = np.zeros((size, size))
+        for i in range(size - 1):
+            Q[i, i + 1] = lam
+        for i in range(1, size):
+            Q[i, i - 1] = mu
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        pi = stationary_from_generator(Q)
+        rho = lam / mu
+        expected = np.array([rho ** k for k in range(size)])
+        expected /= expected.sum()
+        assert np.allclose(pi, expected, atol=1e-8)
+
+    def test_rejects_nonzero_row_sums(self):
+        Q = np.array([[-1.0, 0.5], [1.0, -1.0]])
+        with pytest.raises(ValueError):
+            stationary_from_generator(Q)
+
+    def test_rejects_negative_off_diagonal(self):
+        Q = np.array([[1.0, -1.0], [1.0, -1.0]])
+        with pytest.raises(ValueError):
+            stationary_from_generator(Q)
+
+    def test_distribution_sums_to_one_and_is_nonnegative(self):
+        rng = np.random.default_rng(3)
+        n = 8
+        rates = rng.random((n, n))
+        np.fill_diagonal(rates, 0.0)
+        Q = rates - np.diag(rates.sum(axis=1))
+        pi = stationary_from_generator(Q)
+        assert np.isclose(pi.sum(), 1.0)
+        assert np.all(pi >= 0)
+        assert np.allclose(pi @ Q, 0.0, atol=1e-9)
+
+
+class TestStationaryFromTransitionMatrix:
+    def test_simple_chain(self):
+        P = np.array([[0.5, 0.5], [0.25, 0.75]])
+        pi = stationary_from_transition_matrix(P)
+        assert np.allclose(pi, [1 / 3, 2 / 3])
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            stationary_from_transition_matrix(np.array([[0.5, 0.6], [0.5, 0.5]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            stationary_from_transition_matrix(np.array([[1.1, -0.1], [0.5, 0.5]]))
+
+    def test_doubly_stochastic_is_uniform(self):
+        P = np.array([[0.2, 0.3, 0.5], [0.5, 0.2, 0.3], [0.3, 0.5, 0.2]])
+        pi = stationary_from_transition_matrix(P)
+        assert np.allclose(pi, np.full(3, 1 / 3))

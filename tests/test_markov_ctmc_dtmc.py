@@ -1,0 +1,128 @@
+"""Tests for the generic CTMC/DTMC containers."""
+
+import numpy as np
+import pytest
+
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+from repro.markov.dtmc import DiscreteTimeMarkovChain
+
+
+def two_state_ctmc(a=2.0, b=3.0) -> ContinuousTimeMarkovChain:
+    return ContinuousTimeMarkovChain(["up", "down"], {("up", "down"): a, ("down", "up"): b})
+
+
+class TestCTMCConstruction:
+    def test_states_and_rates_accessible(self):
+        chain = two_state_ctmc()
+        assert chain.states == ["up", "down"]
+        assert chain.num_states == 2
+        assert chain.rate("up", "down") == 2.0
+        assert chain.rate("down", "down") == 0.0
+        assert chain.exit_rate("up") == 2.0
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousTimeMarkovChain(["a", "a"], {})
+
+    def test_unknown_state_in_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousTimeMarkovChain(["a"], {("a", "b"): 1.0})
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousTimeMarkovChain(["a", "b"], {("a", "b"): -1.0})
+
+    def test_self_loops_are_dropped(self):
+        chain = ContinuousTimeMarkovChain(["a", "b"], {("a", "a"): 5.0, ("a", "b"): 1.0, ("b", "a"): 1.0})
+        assert chain.rate("a", "a") == 0.0
+
+    def test_parallel_rates_accumulate(self):
+        rates = {("a", "b"): 1.0}
+        chain = ContinuousTimeMarkovChain(["a", "b"], rates)
+        assert chain.rate("a", "b") == 1.0
+
+
+class TestCTMCAnalysis:
+    def test_generator_rows_sum_to_zero(self):
+        chain = two_state_ctmc()
+        Q = chain.generator_matrix()
+        assert np.allclose(Q.sum(axis=1), 0.0)
+        assert chain.is_conservative()
+
+    def test_stationary_distribution_birth_death(self):
+        chain = two_state_ctmc(2.0, 3.0)
+        pi = chain.stationary_distribution()
+        assert pi["up"] == pytest.approx(3 / 5)
+        assert pi["down"] == pytest.approx(2 / 5)
+
+    def test_expected_reward(self):
+        chain = two_state_ctmc(1.0, 1.0)
+        reward = chain.expected_reward(lambda s: 1.0 if s == "up" else 0.0)
+        assert reward == pytest.approx(0.5)
+
+    def test_uniformization_preserves_stationary_distribution(self):
+        chain = two_state_ctmc(2.0, 5.0)
+        dtmc = chain.uniformize()
+        pi_ctmc = chain.stationary_distribution()
+        pi_dtmc = dtmc.stationary_distribution()
+        for state in chain.states:
+            assert pi_ctmc[state] == pytest.approx(pi_dtmc[state], abs=1e-9)
+
+    def test_uniformization_rate_must_cover_exit_rates(self):
+        chain = two_state_ctmc(2.0, 5.0)
+        with pytest.raises(ValueError):
+            chain.uniformize(uniformization_rate=1.0)
+
+    def test_from_transition_function_explores_reachable_states(self):
+        # Truncated M/M/1 with capacity 5.
+        def transitions(state):
+            if state < 5:
+                yield state + 1, 0.5
+            if state > 0:
+                yield state - 1, 1.0
+
+        chain = ContinuousTimeMarkovChain.from_transition_function([0], transitions)
+        assert chain.num_states == 6
+        pi = chain.stationary_distribution()
+        expected = np.array([0.5 ** k for k in range(6)])
+        expected /= expected.sum()
+        for k in range(6):
+            assert pi[k] == pytest.approx(expected[k], abs=1e-10)
+
+    def test_exploration_guard_triggers(self):
+        def transitions(state):
+            yield state + 1, 1.0
+
+        with pytest.raises(RuntimeError):
+            ContinuousTimeMarkovChain.from_transition_function([0], transitions, max_states=10)
+
+
+class TestDTMC:
+    def test_valid_construction_and_queries(self):
+        P = np.array([[0.5, 0.5], [0.25, 0.75]])
+        chain = DiscreteTimeMarkovChain(["a", "b"], P)
+        assert chain.probability("a", "b") == 0.5
+        assert chain.num_states == 2
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteTimeMarkovChain(["a", "b"], np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_stationary_distribution(self):
+        P = np.array([[0.5, 0.5], [0.25, 0.75]])
+        chain = DiscreteTimeMarkovChain(["a", "b"], P)
+        pi = chain.stationary_distribution()
+        assert pi["a"] == pytest.approx(1 / 3)
+        assert pi["b"] == pytest.approx(2 / 3)
+
+    def test_step_distribution_moves_towards_stationary(self):
+        P = np.array([[0.5, 0.5], [0.25, 0.75]])
+        chain = DiscreteTimeMarkovChain(["a", "b"], P)
+        stepped = chain.step_distribution({"a": 1.0}, steps=50)
+        assert stepped["a"] == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_negative_steps_rejected(self):
+        P = np.eye(2)
+        chain = DiscreteTimeMarkovChain(["a", "b"], P)
+        with pytest.raises(ValueError):
+            chain.step_distribution({"a": 1.0}, steps=-1)

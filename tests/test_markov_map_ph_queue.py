@@ -1,0 +1,94 @@
+"""Tests for the MAP/PH/1 QBD solver (the paper's suggested extension)."""
+
+import pytest
+
+from repro.markov.arrival_processes import MarkovianArrivalProcess, PoissonArrivals
+from repro.markov.map_ph_queue import (
+    mg1_pollaczek_khinchine_waiting_time,
+    solve_map_ph_1,
+)
+from repro.markov.service_distributions import (
+    DeterministicService,
+    ErlangService,
+    ExponentialService,
+    HyperexponentialService,
+    PhaseTypeService,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestAgainstClassicalFormulas:
+    def test_mm1_special_case(self):
+        rho = 0.7
+        solution = solve_map_ph_1(PoissonArrivals(rho), ExponentialService(1.0))
+        assert solution.mean_sojourn_time == pytest.approx(1.0 / (1.0 - rho), rel=1e-8)
+        assert solution.probability_empty == pytest.approx(1.0 - rho, rel=1e-8)
+        assert solution.decay_radius == pytest.approx(rho, abs=1e-9)
+
+    def test_m_erlang_1_matches_pollaczek_khinchine(self):
+        arrival_rate = 0.8
+        service = ErlangService(stages=3, mean=1.0)
+        solution = solve_map_ph_1(PoissonArrivals(arrival_rate), service)
+        expected_wait = mg1_pollaczek_khinchine_waiting_time(arrival_rate, service)
+        assert solution.mean_waiting_time == pytest.approx(expected_wait, rel=1e-6)
+
+    def test_m_hyperexponential_1_matches_pollaczek_khinchine(self):
+        arrival_rate = 0.6
+        probabilities, rates = [0.3, 0.7], [0.6, 2.0]
+        service = PhaseTypeService.from_hyperexponential(probabilities, rates)
+        mixture = HyperexponentialService(probabilities, rates)
+        assert service.mean == pytest.approx(mixture.mean)
+        assert service.variance == pytest.approx(mixture.variance)
+        solution = solve_map_ph_1(PoissonArrivals(arrival_rate), service)
+        expected_wait = mg1_pollaczek_khinchine_waiting_time(arrival_rate, service)
+        assert solution.mean_waiting_time == pytest.approx(expected_wait, rel=1e-6)
+
+    def test_utilization_and_littles_law_consistency(self):
+        solution = solve_map_ph_1(PoissonArrivals(0.5), ErlangService(stages=2, mean=1.2))
+        assert solution.utilization == pytest.approx(0.6)
+        assert solution.mean_jobs_in_system == pytest.approx(
+            solution.mean_sojourn_time * solution.arrival_rate, rel=1e-9
+        )
+        assert solution.mean_queue_length == pytest.approx(
+            solution.mean_jobs_in_system - solution.utilization, rel=1e-9
+        )
+
+
+class TestMAPInput:
+    def test_one_phase_map_equals_poisson(self):
+        rate = 0.7
+        map_process = MarkovianArrivalProcess([[-rate]], [[rate]])
+        via_map = solve_map_ph_1(map_process, ExponentialService(1.0))
+        via_poisson = solve_map_ph_1(PoissonArrivals(rate), ExponentialService(1.0))
+        assert via_map.mean_sojourn_time == pytest.approx(via_poisson.mean_sojourn_time, rel=1e-9)
+
+    def test_bursty_arrivals_increase_delay(self):
+        # An MMPP with the same mean rate as a Poisson process but bursty
+        # structure yields a longer queue — the reason the paper flags MAP
+        # support as a significant extension.
+        bursty = MarkovianArrivalProcess.mmpp2(rate_high=1.4, rate_low=0.2, switch_to_low=0.05, switch_to_high=0.05)
+        smooth = PoissonArrivals(bursty.rate)
+        service = ExponentialService(1.0)
+        assert solve_map_ph_1(bursty, service).mean_sojourn_time > solve_map_ph_1(smooth, service).mean_sojourn_time
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_map_ph_1(PoissonArrivals(1.2), ExponentialService(1.0))
+
+    def test_unsupported_service_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_map_ph_1(PoissonArrivals(0.5), DeterministicService(1.0))
+
+
+class TestPollaczekKhinchineHelper:
+    def test_exponential_reduces_to_mm1(self):
+        assert mg1_pollaczek_khinchine_waiting_time(0.5, ExponentialService(1.0)) == pytest.approx(1.0)
+
+    def test_deterministic_is_half_of_exponential(self):
+        exponential = mg1_pollaczek_khinchine_waiting_time(0.5, ExponentialService(1.0))
+        deterministic = mg1_pollaczek_khinchine_waiting_time(0.5, DeterministicService(1.0))
+        assert deterministic == pytest.approx(exponential / 2.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValidationError):
+            mg1_pollaczek_khinchine_waiting_time(1.5, ExponentialService(1.0))

@@ -1,0 +1,144 @@
+"""Tests for the dispatching policies."""
+
+import numpy as np
+import pytest
+
+from repro.policies import (
+    ClusterView,
+    JoinIdleQueue,
+    JoinShortestQueue,
+    LeastWorkLeft,
+    PowerOfD,
+    RoundRobin,
+    UniformRandom,
+)
+
+
+def make_view(queue_lengths, work=None):
+    return ClusterView(
+        queue_lengths=np.asarray(queue_lengths, dtype=np.int64),
+        work_remaining=None if work is None else np.asarray(work, dtype=float),
+    )
+
+
+class TestClusterView:
+    def test_num_servers_and_idle(self):
+        view = make_view([0, 2, 0, 1])
+        assert view.num_servers == 4
+        assert view.idle_servers().tolist() == [0, 2]
+
+
+class TestPowerOfD:
+    def test_d_equal_n_always_picks_global_shortest(self, rng):
+        policy = PowerOfD(4)
+        view = make_view([3, 1, 2, 5])
+        for _ in range(20):
+            assert policy.select_server(view, rng) == 1
+
+    def test_d_one_is_uniform(self, rng):
+        policy = PowerOfD(1)
+        counts = np.zeros(3)
+        view = make_view([5, 5, 5])
+        for _ in range(3000):
+            counts[policy.select_server(view, rng)] += 1
+        assert np.all(counts > 800)
+
+    def test_never_selects_longer_of_the_polled_pair(self, rng):
+        # With d = N-1 = 2 out of 3 servers, the longest queue can only be
+        # selected when it is polled together with an even longer one — here it
+        # is the unique maximum, so it must never win a poll it shares.
+        policy = PowerOfD(3)
+        view = make_view([7, 1, 1])
+        for _ in range(50):
+            assert policy.select_server(view, rng) != 0
+
+    def test_tie_breaking_is_random_among_polled_shortest(self, rng):
+        policy = PowerOfD(2)
+        view = make_view([0, 0])
+        chosen = {policy.select_server(view, rng) for _ in range(100)}
+        assert chosen == {0, 1}
+
+    def test_d_larger_than_n_rejected(self, rng):
+        policy = PowerOfD(5)
+        with pytest.raises(ValueError):
+            policy.select_server(make_view([1, 1]), rng)
+
+    def test_invalid_d_rejected(self):
+        with pytest.raises(Exception):
+            PowerOfD(0)
+
+    def test_feedback_cost_is_d(self):
+        assert PowerOfD(3).feedback_messages_per_job == 3
+
+    def test_sampling_is_without_replacement(self, rng):
+        # With d = N every server is polled, so the unique zero-length queue
+        # must always be found even though it sits at the last index.
+        policy = PowerOfD(6)
+        view = make_view([4, 4, 4, 4, 4, 0])
+        for _ in range(20):
+            assert policy.select_server(view, rng) == 5
+
+
+class TestJoinShortestQueue:
+    def test_selects_global_minimum(self, rng):
+        policy = JoinShortestQueue()
+        assert policy.select_server(make_view([4, 2, 3]), rng) == 1
+
+    def test_ties_broken_among_minima(self, rng):
+        policy = JoinShortestQueue()
+        chosen = {policy.select_server(make_view([1, 0, 0]), rng) for _ in range(100)}
+        assert chosen == {1, 2}
+
+
+class TestUniformRandom:
+    def test_all_servers_reachable(self, rng):
+        policy = UniformRandom()
+        chosen = {policy.select_server(make_view([9, 0, 3]), rng) for _ in range(200)}
+        assert chosen == {0, 1, 2}
+
+    def test_zero_feedback(self):
+        assert UniformRandom().feedback_messages_per_job == 0
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self, rng):
+        policy = RoundRobin()
+        view = make_view([0, 0, 0])
+        sequence = [policy.select_server(view, rng) for _ in range(6)]
+        assert sequence == [0, 1, 2, 0, 1, 2]
+
+    def test_reset_restarts_cycle(self, rng):
+        policy = RoundRobin()
+        view = make_view([0, 0])
+        policy.select_server(view, rng)
+        policy.reset()
+        assert policy.select_server(view, rng) == 0
+
+
+class TestJoinIdleQueue:
+    def test_prefers_idle_servers(self, rng):
+        policy = JoinIdleQueue()
+        view = make_view([3, 0, 2])
+        for _ in range(20):
+            assert policy.select_server(view, rng) == 1
+
+    def test_falls_back_to_random_when_none_idle(self, rng):
+        policy = JoinIdleQueue()
+        chosen = {policy.select_server(make_view([1, 2, 3]), rng) for _ in range(200)}
+        assert chosen == {0, 1, 2}
+
+
+class TestLeastWorkLeft:
+    def test_uses_work_when_available(self, rng):
+        policy = LeastWorkLeft()
+        view = make_view([1, 1, 1], work=[5.0, 0.5, 3.0])
+        assert policy.select_server(view, rng) == 1
+
+    def test_falls_back_to_queue_lengths(self, rng):
+        policy = LeastWorkLeft()
+        assert policy.select_server(make_view([4, 1, 2]), rng) == 1
+
+    def test_respects_d_subsampling(self, rng):
+        policy = LeastWorkLeft(1)
+        chosen = {policy.select_server(make_view([1, 1, 1], work=[1.0, 2.0, 3.0]), rng) for _ in range(200)}
+        assert chosen == {0, 1, 2}

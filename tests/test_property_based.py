@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import SQDModel
+from repro.core.state import (
+    canonical_state,
+    elementary_successors,
+    imbalance,
+    partial_sums,
+    precedence_decomposition,
+    precedes,
+    tie_groups,
+    total_jobs,
+    waiting_jobs,
+)
+from repro.core.state_space import repeating_block_size
+from repro.core.transitions import arrival_transitions, departure_transitions
+from repro.core.bound_models import LowerBoundModel, UpperBoundModel
+from repro.markov.arrival_processes import PoissonArrivals, beta_coefficients
+from repro.utils.combinatorics import binomial, descending_tuples, num_bounded_descending_tuples
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+queue_lengths = st.lists(st.integers(min_value=0, max_value=8), min_size=2, max_size=6)
+
+
+@st.composite
+def models_and_states(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    d = draw(st.integers(min_value=1, max_value=n))
+    utilization = draw(st.floats(min_value=0.05, max_value=0.95))
+    raw = draw(st.lists(st.integers(min_value=0, max_value=6), min_size=n, max_size=n))
+    model = SQDModel(num_servers=n, d=d, utilization=utilization)
+    return model, canonical_state(raw)
+
+
+@st.composite
+def bounded_models_and_states(draw):
+    """A model, a threshold, and a state inside the restricted space S."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    d = draw(st.integers(min_value=1, max_value=n))
+    threshold = draw(st.integers(min_value=1, max_value=3))
+    utilization = draw(st.floats(min_value=0.05, max_value=0.95))
+    base = draw(st.integers(min_value=0, max_value=5))
+    offsets = sorted(
+        draw(st.lists(st.integers(min_value=0, max_value=threshold), min_size=n - 1, max_size=n - 1)),
+        reverse=True,
+    )
+    state = tuple(base + o for o in offsets) + (base,)
+    model = SQDModel(num_servers=n, d=d, utilization=utilization)
+    return model, threshold, state
+
+
+# ---------------------------------------------------------------------------
+# State representation
+# ---------------------------------------------------------------------------
+class TestStateProperties:
+    @given(queue_lengths)
+    def test_canonical_state_is_sorted_permutation(self, lengths):
+        state = canonical_state(lengths)
+        assert sorted(state) == sorted(lengths)
+        assert all(state[i] >= state[i + 1] for i in range(len(state) - 1))
+
+    @given(queue_lengths)
+    def test_totals_invariant_under_canonicalization(self, lengths):
+        state = canonical_state(lengths)
+        assert total_jobs(state) == sum(lengths)
+        assert waiting_jobs(state) == sum(max(v - 1, 0) for v in lengths)
+
+    @given(queue_lengths)
+    def test_tie_groups_cover_the_state_exactly_once(self, lengths):
+        state = canonical_state(lengths)
+        groups = tie_groups(state)
+        covered = [position for start, end, _ in groups for position in range(start, end + 1)]
+        assert covered == list(range(len(state)))
+        for start, end, value in groups:
+            assert all(state[i] == value for i in range(start, end + 1))
+
+    @given(queue_lengths)
+    def test_partial_sums_monotone_and_end_at_total(self, lengths):
+        state = canonical_state(lengths)
+        sums = partial_sums(state)
+        assert list(sums) == sorted(sums)
+        assert sums[-1] == total_jobs(state)
+
+
+class TestPrecedenceProperties:
+    @given(queue_lengths)
+    def test_precedence_is_reflexive(self, lengths):
+        state = canonical_state(lengths)
+        assert precedes(state, state)
+
+    @given(queue_lengths, st.integers(min_value=0, max_value=5))
+    def test_adding_jobs_moves_up_the_order(self, lengths, extra):
+        state = canonical_state(lengths)
+        heavier = tuple(v + extra for v in state)
+        assert precedes(state, heavier)
+
+    @given(queue_lengths)
+    def test_elementary_successors_dominate_the_state(self, lengths):
+        state = canonical_state(lengths)
+        for successor in elementary_successors(state):
+            assert precedes(state, successor)
+            assert not precedes(successor, state) or successor == state
+
+    @given(queue_lengths)
+    def test_decomposition_nonnegative_iff_precedes(self, lengths):
+        state = canonical_state(lengths)
+        for successor in elementary_successors(state):
+            coefficients = precedence_decomposition(state, successor)
+            assert all(c >= -1e-12 for c in coefficients)
+
+    @given(queue_lengths, queue_lengths)
+    def test_precedence_antisymmetry(self, first, second):
+        assume(len(first) == len(second))
+        a, b = canonical_state(first), canonical_state(second)
+        if precedes(a, b) and precedes(b, a):
+            assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Transition rates
+# ---------------------------------------------------------------------------
+class TestTransitionProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(models_and_states())
+    def test_arrival_rates_sum_to_lambda_n(self, model_and_state):
+        model, state = model_and_state
+        total = sum(rate for _, rate in arrival_transitions(state, model))
+        assert total == pytest.approx(model.total_arrival_rate, rel=1e-9)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(models_and_states())
+    def test_departure_rates_sum_to_busy_servers(self, model_and_state):
+        model, state = model_and_state
+        total = sum(rate for _, rate in departure_transitions(state, model))
+        busy = sum(1 for v in state if v > 0)
+        assert total == pytest.approx(busy * model.service_rate, rel=1e-9)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(models_and_states())
+    def test_transitions_change_exactly_one_job(self, model_and_state):
+        model, state = model_and_state
+        for target, _ in arrival_transitions(state, model):
+            assert total_jobs(target) == total_jobs(state) + 1
+        for target, _ in departure_transitions(state, model):
+            assert total_jobs(target) == total_jobs(state) - 1
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(models_and_states())
+    def test_targets_are_canonical(self, model_and_state):
+        model, state = model_and_state
+        for target, _ in arrival_transitions(state, model) + departure_transitions(state, model):
+            assert target == canonical_state(target)
+
+
+# ---------------------------------------------------------------------------
+# Bound models
+# ---------------------------------------------------------------------------
+class TestBoundModelProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=60)
+    @given(bounded_models_and_states())
+    def test_bound_models_never_leave_the_restricted_space(self, model_threshold_state):
+        model, threshold, state = model_threshold_state
+        for bound_class in (LowerBoundModel, UpperBoundModel):
+            bound = bound_class(model, threshold)
+            for target, rate in bound.transition_map(state).items():
+                assert rate > 0
+                assert imbalance(target) <= threshold
+                assert bound.contains(target)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=60)
+    @given(bounded_models_and_states())
+    def test_redirections_sit_on_the_correct_side_of_the_order(self, model_threshold_state):
+        model, threshold, state = model_threshold_state
+        lower = LowerBoundModel(model, threshold)
+        for redirection in lower.redirections(state):
+            assert precedes(redirection.redirected_target, redirection.original_target)
+        upper = UpperBoundModel(model, threshold)
+        for redirection in upper.redirections(state):
+            target = redirection.redirected_target if redirection.redirected_target is not None else state
+            assert precedes(redirection.original_target, target)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=60)
+    @given(bounded_models_and_states())
+    def test_lower_bound_conserves_total_rate(self, model_threshold_state):
+        model, threshold, state = model_threshold_state
+        lower = LowerBoundModel(model, threshold)
+        busy = sum(1 for v in state if v > 0)
+        expected = model.total_arrival_rate + busy * model.service_rate
+        redirected_self_loops = sum(
+            r.rate for r in lower.redirections(state) if r.redirected_target == state
+        )
+        total = sum(lower.transition_map(state).values())
+        assert total == pytest.approx(expected - redirected_self_loops, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Combinatorics and coefficients
+# ---------------------------------------------------------------------------
+class TestCombinatoricsProperties:
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=6))
+    def test_descending_tuple_count_formula(self, length, max_value):
+        produced = list(descending_tuples(length, max_value))
+        assert len(produced) == num_bounded_descending_tuples(length, max_value)
+        assert len(set(produced)) == len(produced)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=5))
+    def test_block_size_equals_bounded_tuple_count(self, n, t):
+        assert repeating_block_size(n, t) == binomial(n + t - 1, t)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=10))
+    def test_pascal_rule(self, n, k):
+        assert binomial(n, k) == binomial(n - 1, k - 1) + binomial(n - 1, k)
+
+
+class TestBetaCoefficientProperties:
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_poisson_betas_are_a_probability_distribution_prefix(self, rho):
+        coefficients = beta_coefficients(PoissonArrivals(rho), service_rate=1.0, max_k=50)
+        assert all(c >= 0 for c in coefficients)
+        assert sum(coefficients) <= 1.0 + 1e-9
+        # Geometric structure: beta_{k+1} / beta_k = 1 / (1 + rho).
+        ratios = [coefficients[k + 1] / coefficients[k] for k in range(10)]
+        assert all(r == pytest.approx(1.0 / (1.0 + rho), rel=1e-9) for r in ratios)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_sigma_fixed_point_for_poisson(self, rho):
+        # x = sum_k x^k beta_k evaluated at x = rho must return rho (Theorem 3).
+        coefficients = beta_coefficients(PoissonArrivals(rho), service_rate=1.0, max_k=400)
+        value = sum((rho ** k) * beta for k, beta in enumerate(coefficients))
+        assert value == pytest.approx(rho, abs=1e-6)

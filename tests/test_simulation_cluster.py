@@ -1,0 +1,83 @@
+"""Tests for the job-level cluster simulator."""
+
+import pytest
+
+from repro.markov.arrival_processes import PoissonArrivals
+from repro.markov.service_distributions import DeterministicService, ExponentialService
+from repro.policies import JoinShortestQueue, PowerOfD, RoundRobin, UniformRandom
+from repro.simulation.cluster import ClusterSimulation
+from repro.simulation.workloads import Workload, poisson_exponential_workload
+
+
+class TestBasicBehaviour:
+    def test_all_jobs_complete(self):
+        workload = poisson_exponential_workload(num_servers=2, utilization=0.5)
+        simulation = ClusterSimulation(workload, PowerOfD(2), seed=1)
+        result = simulation.run(2_000)
+        assert result.completed_jobs == 2_000
+        assert simulation.queue_lengths.sum() == 0
+
+    def test_warmup_jobs_are_discarded_from_stats(self):
+        workload = poisson_exponential_workload(num_servers=2, utilization=0.5)
+        result = ClusterSimulation(workload, PowerOfD(2), seed=1, warmup_jobs=500).run(2_000)
+        assert result.completed_jobs == 1_500
+        assert result.discarded_jobs == 500
+
+    def test_sojourn_is_waiting_plus_service_on_average(self):
+        workload = Workload(3, PoissonArrivals(1.5), ExponentialService(1.0))
+        result = ClusterSimulation(workload, JoinShortestQueue(), seed=3, warmup_jobs=1_000).run(20_000)
+        assert result.mean_sojourn_time == pytest.approx(result.mean_waiting_time + 1.0, rel=0.05)
+
+    def test_results_are_reproducible_with_same_seed(self):
+        workload = poisson_exponential_workload(num_servers=3, utilization=0.7)
+        first = ClusterSimulation(workload, PowerOfD(2), seed=11).run(3_000)
+        second = ClusterSimulation(workload, PowerOfD(2), seed=11).run(3_000)
+        assert first.mean_sojourn_time == second.mean_sojourn_time
+
+    def test_different_seeds_differ(self):
+        workload = poisson_exponential_workload(num_servers=3, utilization=0.7)
+        first = ClusterSimulation(workload, PowerOfD(2), seed=11).run(3_000)
+        second = ClusterSimulation(workload, PowerOfD(2), seed=12).run(3_000)
+        assert first.mean_sojourn_time != second.mean_sojourn_time
+
+    def test_invalid_job_count_rejected(self):
+        workload = poisson_exponential_workload(num_servers=2, utilization=0.5)
+        with pytest.raises(Exception):
+            ClusterSimulation(workload, PowerOfD(2), seed=1).run(0)
+
+
+class TestAgainstKnownResults:
+    def test_random_dispatch_matches_mm1(self):
+        # SQ(1)/uniform random splits a Poisson stream: each server is an
+        # independent M/M/1 with sojourn time 1 / (1 - rho).
+        utilization = 0.6
+        workload = poisson_exponential_workload(num_servers=4, utilization=utilization)
+        result = ClusterSimulation(workload, UniformRandom(), seed=5, warmup_jobs=5_000).run(60_000)
+        assert result.mean_sojourn_time == pytest.approx(1.0 / (1.0 - utilization), rel=0.08)
+
+    def test_single_server_deterministic_service_md1(self):
+        # M/D/1 mean waiting time: rho * b / (2 (1 - rho)) with service time b.
+        utilization = 0.5
+        workload = Workload(1, PoissonArrivals(utilization), DeterministicService(1.0))
+        result = ClusterSimulation(workload, UniformRandom(), seed=9, warmup_jobs=5_000).run(60_000)
+        expected_wait = utilization / (2 * (1 - utilization))
+        assert result.mean_waiting_time == pytest.approx(expected_wait, rel=0.1)
+
+    def test_jsq_beats_random_dispatch(self):
+        workload = poisson_exponential_workload(num_servers=4, utilization=0.85)
+        random_result = ClusterSimulation(workload, UniformRandom(), seed=21, warmup_jobs=3_000).run(40_000)
+        jsq_result = ClusterSimulation(workload, JoinShortestQueue(), seed=21, warmup_jobs=3_000).run(40_000)
+        assert jsq_result.mean_sojourn_time < random_result.mean_sojourn_time
+
+    def test_sq2_between_random_and_jsq(self):
+        workload = poisson_exponential_workload(num_servers=6, utilization=0.85)
+        random_result = ClusterSimulation(workload, UniformRandom(), seed=31, warmup_jobs=3_000).run(40_000)
+        sq2_result = ClusterSimulation(workload, PowerOfD(2), seed=31, warmup_jobs=3_000).run(40_000)
+        jsq_result = ClusterSimulation(workload, JoinShortestQueue(), seed=31, warmup_jobs=3_000).run(40_000)
+        assert jsq_result.mean_sojourn_time <= sq2_result.mean_sojourn_time <= random_result.mean_sojourn_time
+
+    def test_round_robin_beats_random_for_poisson_input(self):
+        workload = poisson_exponential_workload(num_servers=4, utilization=0.8)
+        random_result = ClusterSimulation(workload, UniformRandom(), seed=41, warmup_jobs=3_000).run(40_000)
+        rr_result = ClusterSimulation(workload, RoundRobin(), seed=41, warmup_jobs=3_000).run(40_000)
+        assert rr_result.mean_sojourn_time < random_result.mean_sojourn_time

@@ -1,0 +1,91 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simulation.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(2.0, lambda: fired.append("late"))
+        scheduler.schedule(1.0, lambda: fired.append("early"))
+        scheduler.run()
+        assert fired == ["early", "late"]
+        assert scheduler.now == pytest.approx(2.0)
+
+    def test_ties_fire_in_insertion_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append("first"))
+        scheduler.schedule(1.0, lambda: fired.append("second"))
+        scheduler.run()
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule_at(3.0, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [3.0]
+
+    def test_cancelled_events_do_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule(1.0, lambda: fired.append("cancelled"))
+        scheduler.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        scheduler.run()
+        assert fired == ["kept"]
+        assert scheduler.executed_events == 1
+
+    def test_events_scheduled_during_execution(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(scheduler.now)
+            if len(fired) < 3:
+                scheduler.schedule(1.0, chain)
+
+        scheduler.schedule(1.0, chain)
+        scheduler.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestRunLimits:
+    def test_run_until_time_stops_clock_at_limit(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(5.0, lambda: fired.append(2))
+        scheduler.run(until_time=2.0)
+        assert fired == [1]
+        assert scheduler.now == pytest.approx(2.0)
+        assert scheduler.pending_events == 1
+
+    def test_run_max_events(self):
+        scheduler = EventScheduler()
+        fired = []
+        for i in range(5):
+            scheduler.schedule(float(i + 1), lambda i=i: fired.append(i))
+        scheduler.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        scheduler = EventScheduler()
+        assert scheduler.step() is False
+
+    def test_clock_monotone_nondecreasing(self):
+        scheduler = EventScheduler()
+        observed = []
+        for delay in (3.0, 1.0, 2.0):
+            scheduler.schedule(delay, lambda: observed.append(scheduler.now))
+        scheduler.run()
+        assert observed == sorted(observed)

@@ -1,0 +1,77 @@
+"""Tests for the CTMC (Gillespie) SQ(d) simulator."""
+
+import pytest
+
+from repro.core.delay import mm1_sojourn_time, mmn_sojourn_time
+from repro.policies import JoinShortestQueue
+from repro.simulation.gillespie import simulate_sqd_ctmc
+from repro.simulation.workloads import poisson_exponential_workload
+from repro.simulation.cluster import ClusterSimulation
+from repro.policies.sqd import PowerOfD
+
+
+class TestAgainstClosedForms:
+    def test_d1_matches_mm1(self):
+        result = simulate_sqd_ctmc(num_servers=4, d=1, utilization=0.7, num_events=400_000, seed=3)
+        assert result.mean_delay == pytest.approx(mm1_sojourn_time(0.7), rel=0.05)
+
+    def test_single_server_matches_mm1(self):
+        result = simulate_sqd_ctmc(num_servers=1, d=1, utilization=0.5, num_events=200_000, seed=4)
+        assert result.mean_delay == pytest.approx(2.0, rel=0.05)
+
+    def test_jsq_close_to_mmn_lower_envelope(self):
+        # JSQ is within a few percent of the (unattainable) central-queue M/M/N
+        # at moderate load, and never below it.
+        n, rho = 3, 0.8
+        result = simulate_sqd_ctmc(num_servers=n, d=n, utilization=rho, num_events=500_000, seed=5)
+        reference = mmn_sojourn_time(n, rho)
+        assert result.mean_delay >= reference * 0.97
+        assert result.mean_delay <= reference * 1.35
+
+    def test_more_choices_reduce_delay(self):
+        delays = []
+        for d in (1, 2, 4):
+            delays.append(
+                simulate_sqd_ctmc(num_servers=8, d=d, utilization=0.9, num_events=300_000, seed=6).mean_delay
+            )
+        assert delays[0] > delays[1] > delays[2]
+
+    def test_agrees_with_job_level_simulator(self):
+        n, d, rho = 4, 2, 0.8
+        ctmc = simulate_sqd_ctmc(num_servers=n, d=d, utilization=rho, num_events=400_000, seed=7)
+        workload = poisson_exponential_workload(n, rho)
+        job_level = ClusterSimulation(workload, PowerOfD(d), seed=7, warmup_jobs=5_000).run(80_000)
+        assert ctmc.mean_delay == pytest.approx(job_level.mean_sojourn_time, rel=0.08)
+
+
+class TestInterface:
+    def test_waiting_plus_service_equals_sojourn(self):
+        result = simulate_sqd_ctmc(num_servers=3, d=2, utilization=0.6, num_events=100_000, seed=8)
+        assert result.mean_sojourn_time == pytest.approx(result.mean_waiting_time + 1.0)
+
+    def test_littles_law_consistency(self):
+        result = simulate_sqd_ctmc(num_servers=3, d=2, utilization=0.6, num_events=100_000, seed=9)
+        arrival_rate = 0.6 * 3
+        assert result.mean_jobs_in_system == pytest.approx(result.mean_sojourn_time * arrival_rate, rel=1e-9)
+
+    def test_reproducible_with_seed(self):
+        first = simulate_sqd_ctmc(3, 2, 0.7, num_events=50_000, seed=10)
+        second = simulate_sqd_ctmc(3, 2, 0.7, num_events=50_000, seed=10)
+        assert first.mean_delay == second.mean_delay
+
+    def test_unstable_utilization_rejected(self):
+        with pytest.raises(Exception):
+            simulate_sqd_ctmc(3, 2, 1.0, num_events=1_000)
+
+    def test_d_larger_than_n_rejected(self):
+        with pytest.raises(Exception):
+            simulate_sqd_ctmc(3, 4, 0.5, num_events=1_000)
+
+    def test_custom_policy_is_used(self):
+        jsq = simulate_sqd_ctmc(4, 2, 0.9, num_events=200_000, seed=11, policy=JoinShortestQueue())
+        sq2 = simulate_sqd_ctmc(4, 2, 0.9, num_events=200_000, seed=11)
+        assert jsq.mean_delay < sq2.mean_delay
+
+    def test_imbalance_metric_is_nonnegative(self):
+        result = simulate_sqd_ctmc(3, 2, 0.7, num_events=50_000, seed=12)
+        assert result.mean_queue_imbalance >= 0

@@ -1,0 +1,45 @@
+"""Tests for workload descriptions."""
+
+import pytest
+
+from repro.markov.arrival_processes import PoissonArrivals
+from repro.markov.service_distributions import ErlangService, ExponentialService
+from repro.simulation.workloads import Workload, poisson_exponential_workload
+from repro.utils.validation import ValidationError
+
+
+class TestWorkload:
+    def test_per_server_load(self):
+        workload = Workload(4, PoissonArrivals(3.2), ExponentialService(1.0))
+        assert workload.per_server_load == pytest.approx(0.8)
+        assert workload.total_arrival_rate == pytest.approx(3.2)
+        assert workload.is_stable
+
+    def test_unstable_detection(self):
+        workload = Workload(2, PoissonArrivals(3.0), ExponentialService(1.0))
+        assert not workload.is_stable
+
+    def test_non_exponential_service_allowed(self):
+        workload = Workload(2, PoissonArrivals(1.0), ErlangService(stages=3, mean=0.5))
+        assert workload.per_server_load == pytest.approx(0.25)
+
+    def test_invalid_server_count_rejected(self):
+        with pytest.raises(Exception):
+            Workload(0, PoissonArrivals(1.0), ExponentialService(1.0))
+
+
+class TestPoissonExponentialWorkload:
+    def test_matches_paper_parameterization(self):
+        workload = poisson_exponential_workload(num_servers=6, utilization=0.9)
+        assert workload.total_arrival_rate == pytest.approx(5.4)
+        assert workload.per_server_load == pytest.approx(0.9)
+        assert workload.service_distribution.mean == pytest.approx(1.0)
+
+    def test_custom_service_rate(self):
+        workload = poisson_exponential_workload(num_servers=2, utilization=0.5, service_rate=2.0)
+        assert workload.total_arrival_rate == pytest.approx(2.0)
+        assert workload.per_server_load == pytest.approx(0.5)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValidationError):
+            poisson_exponential_workload(num_servers=2, utilization=0.0)

@@ -1,0 +1,120 @@
+"""Tests for repro.utils.combinatorics."""
+
+import math
+
+import pytest
+
+from repro.utils.combinatorics import (
+    binomial,
+    bounded_partitions,
+    compositions,
+    descending_tuples,
+    multiset_permutation_count,
+    num_bounded_descending_tuples,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb_in_range(self):
+        for n in range(0, 12):
+            for k in range(0, n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_out_of_range_arguments_return_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(-1, 0) == 0
+        assert binomial(4, -2) == 0
+
+    def test_paper_identity_sum_of_binomials(self):
+        # sum_{i=d}^{N} C(i-1, d-1) = C(N, d) — the arrival rates sum to lambda*N.
+        for n in range(1, 10):
+            for d in range(1, n + 1):
+                assert sum(binomial(i - 1, d - 1) for i in range(d, n + 1)) == binomial(n, d)
+
+    def test_group_rate_telescoping_identity(self):
+        # C(b, d) - C(a-1, d) = sum_{k=a}^{b} C(k-1, d-1) — the tie-group arrival rate.
+        for n in range(2, 8):
+            for d in range(1, n + 1):
+                for a in range(1, n + 1):
+                    for b in range(a, n + 1):
+                        expected = sum(binomial(k - 1, d - 1) for k in range(a, b + 1))
+                        assert binomial(b, d) - binomial(a - 1, d) == expected
+
+
+class TestMultisetPermutationCount:
+    def test_all_distinct(self):
+        assert multiset_permutation_count([1, 1, 1]) == 6
+
+    def test_with_repeats(self):
+        assert multiset_permutation_count([2, 1]) == 3
+
+    def test_single_group(self):
+        assert multiset_permutation_count([4]) == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            multiset_permutation_count([2, -1])
+
+
+class TestDescendingTuples:
+    def test_small_enumeration(self):
+        assert list(descending_tuples(2, 1)) == [(1, 1), (1, 0), (0, 0)]
+
+    def test_length_zero(self):
+        assert list(descending_tuples(0, 5)) == [()]
+
+    def test_counts_match_formula(self):
+        for length in range(0, 5):
+            for max_value in range(0, 5):
+                produced = list(descending_tuples(length, max_value))
+                assert len(produced) == num_bounded_descending_tuples(length, max_value)
+                assert len(set(produced)) == len(produced)
+
+    def test_all_tuples_are_sorted_and_bounded(self):
+        for candidate in descending_tuples(4, 3):
+            assert all(candidate[i] >= candidate[i + 1] for i in range(3))
+            assert all(0 <= value <= 3 for value in candidate)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            list(descending_tuples(-1, 2))
+
+    def test_min_value_respected(self):
+        produced = list(descending_tuples(2, 3, min_value=2))
+        assert all(min(t) >= 2 for t in produced)
+        assert (3, 2) in produced and (2, 2) in produced
+
+
+class TestBoundedPartitions:
+    def test_exact_total_filter(self):
+        result = bounded_partitions(3, 2, total=3)
+        assert set(result) == {(2, 1, 0), (1, 1, 1)}
+
+    def test_max_total_filter(self):
+        result = bounded_partitions(2, 2, max_total=1)
+        assert set(result) == {(0, 0), (1, 0)}
+
+    def test_no_filters_counts(self):
+        assert len(bounded_partitions(3, 2)) == num_bounded_descending_tuples(3, 2)
+
+
+class TestCompositions:
+    def test_total_two_two_parts(self):
+        assert set(compositions(2, 2)) == {(0, 2), (1, 1), (2, 0)}
+
+    def test_single_part(self):
+        assert list(compositions(5, 1)) == [(5,)]
+
+    def test_count_is_stars_and_bars(self):
+        assert len(list(compositions(4, 3))) == math.comb(4 + 3 - 1, 3 - 1)
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(ValueError):
+            list(compositions(3, 0))
+
+
+class TestBlockSizeFormula:
+    def test_block_size_matches_paper(self):
+        # The repeating QBD block has C(N + T - 1, T) states.
+        assert num_bounded_descending_tuples(3 - 1, 2) == math.comb(3 + 2 - 1, 2)
+        assert num_bounded_descending_tuples(12 - 1, 3) == math.comb(12 + 3 - 1, 3)

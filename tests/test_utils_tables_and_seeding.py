@@ -1,0 +1,66 @@
+"""Tests for repro.utils.tables and repro.utils.seeding."""
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import spawn_rngs
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["name", "value"], [["alpha", 1.5], ["beta", 2]])
+        assert "name" in text and "value" in text
+        assert "alpha" in text and "beta" in text
+        assert "1.5" in text
+
+    def test_title_is_first_line(self):
+        text = format_table(["a"], [[1]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_columns_are_aligned(self):
+        text = format_table(["col", "x"], [["short", 1], ["much-longer-cell", 2]])
+        lines = text.splitlines()
+        # The x column starts at the same offset on every data row.
+        offsets = {line.rstrip().rindex(str(v)) for line, v in zip(lines[2:], [1, 2])}
+        assert len(offsets) == 1
+
+    def test_floats_are_formatted_compactly(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.123457" in text
+
+
+class TestFormatSeries:
+    def test_series_are_columns(self):
+        text = format_series({"lower": [1.0, 2.0], "upper": [3.0, 4.0]}, "rho", [0.5, 0.9])
+        assert "lower" in text and "upper" in text and "rho" in text
+        assert "0.5" in text and "0.9" in text
+
+    def test_short_series_padded_with_nan(self):
+        text = format_series({"s": [1.0]}, "x", [1, 2])
+        assert "nan" in text
+
+
+class TestSpawnRngs:
+    def test_returns_requested_count(self):
+        rngs = spawn_rngs(1, 3)
+        assert len(rngs) == 3
+        assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+    def test_streams_are_reproducible(self):
+        first = [r.random() for r in spawn_rngs(42, 2)]
+        second = [r.random() for r in spawn_rngs(42, 2)]
+        assert first == second
+
+    def test_streams_are_distinct(self):
+        a, b = spawn_rngs(7, 2)
+        assert a.random() != b.random()
+
+    def test_different_seeds_differ(self):
+        a = spawn_rngs(1, 1)[0].random()
+        b = spawn_rngs(2, 1)[0].random()
+        assert a != b
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, 0)

@@ -1,0 +1,91 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    ValidationError,
+    check_in_range,
+    check_integer,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", "three")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", True)
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValidationError, match="arrival_rate"):
+            check_positive("arrival_rate", -2)
+
+
+class TestCheckProbability:
+    def test_accepts_interior(self):
+        assert check_probability("p", 0.4) == 0.4
+
+    def test_boundaries_controlled_by_flags(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_probability("p", 0.0, allow_zero=False)
+        with pytest.raises(ValidationError):
+            check_probability("p", 1.0, allow_one=False)
+
+    def test_rejects_outside_unit_interval(self):
+        with pytest.raises(ValidationError):
+            check_probability("p", 1.2)
+        with pytest.raises(ValidationError):
+            check_probability("p", -0.1)
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range("u", 0.5, 0.0, 1.0) == 0.5
+
+    def test_accepts_endpoints(self):
+        assert check_in_range("u", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("u", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("u", 2.0, 0.0, 1.0)
+
+
+class TestCheckInteger:
+    def test_accepts_plain_int(self):
+        assert check_integer("n", 5) == 5
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 5.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", True)
+
+    def test_bounds_enforced(self):
+        assert check_integer("n", 3, minimum=1, maximum=5) == 3
+        with pytest.raises(ValidationError):
+            check_integer("n", 0, minimum=1)
+        with pytest.raises(ValidationError):
+            check_integer("n", 9, maximum=5)

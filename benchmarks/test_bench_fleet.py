@@ -1,0 +1,76 @@
+"""Benchmark harness for the occupancy fleet engine: O(1) event cost in N.
+
+The per-job simulator costs O(log N) per event (heap) plus O(N) policy scans
+and the per-server Gillespie CTMC costs O(N) per departure search, so both
+degrade as the pool grows.  The occupancy engine's whole claim is that one
+event costs O(queue depth) regardless of N — this harness sweeps N over
+three decades at fixed event count and asserts the throughput stays flat,
+then reports the delay accuracy against the mean-field prediction.
+
+Run with::
+
+    pytest benchmarks/test_bench_fleet.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from conftest import env_int
+
+from repro.core.asymptotic import relative_error_percent
+from repro.fleet.engine import simulate_fleet
+from repro.fleet.meanfield import meanfield_delay
+from repro.utils.tables import format_table
+
+EVENTS = env_int("REPRO_BENCH_FLEET_EVENTS", 300_000)
+SERVER_COUNTS = (100, 1_000, 10_000, 100_000)
+UTILIZATION = 0.9
+D = 2
+
+
+def _run_sweep():
+    results = []
+    for num_servers in SERVER_COUNTS:
+        result = simulate_fleet(
+            num_servers=num_servers,
+            d=D,
+            utilization=UTILIZATION,
+            num_events=EVENTS,
+            seed=20160627 + num_servers,
+        )
+        results.append(result)
+    return results
+
+
+def test_fleet_throughput_flat_in_n(benchmark, report):
+    """Events/sec must stay roughly constant from N=10^2 to N=10^5."""
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+    prediction = meanfield_delay(UTILIZATION, D)
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.num_servers,
+                f"{result.events_per_second:,.0f}",
+                result.mean_delay,
+                relative_error_percent(result.mean_delay, prediction),
+            ]
+        )
+    table = format_table(
+        ["N", "events/s", "fleet delay", "err% vs mean-field"],
+        rows,
+        title=(
+            f"fleet engine throughput, SQ({D}) at rho={UTILIZATION}, "
+            f"{EVENTS} events/point (mean-field delay {prediction:.4f})"
+        ),
+    )
+    report("fleet_throughput", table)
+
+    throughputs = [result.events_per_second for result in results]
+    assert min(throughputs) > 0
+    # Flat in N: across three decades the spread must stay within a small
+    # constant factor.  O(N) scaling would show a ~1000x ratio, so the bound
+    # is loose enough to absorb timer noise on shared CI runners.
+    assert max(throughputs) / min(throughputs) < 5.0, throughputs
+    # The large-N run sits on the mean-field prediction.
+    assert relative_error_percent(results[-1].mean_delay, prediction) < 5.0

@@ -36,11 +36,23 @@ from repro.core import (
     solve_exact_truncated,
     solve_improved_lower_bound,
 )
+from repro.fleet import (
+    FleetResult,
+    FleetSimulation,
+    OccupancyState,
+    Scenario,
+    get_scenario,
+    integrate_meanfield,
+    meanfield_delay,
+    meanfield_fixed_point,
+    run_scenario,
+    simulate_fleet,
+)
 from repro.policies import JoinShortestQueue, PowerOfD, UniformRandom
 from repro.simulation import ClusterSimulation, simulate_sqd_ctmc
 from repro.simulation.workloads import Workload, poisson_exponential_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SQDModel",
@@ -66,5 +78,15 @@ __all__ = [
     "simulate_sqd_ctmc",
     "Workload",
     "poisson_exponential_workload",
+    "OccupancyState",
+    "FleetSimulation",
+    "FleetResult",
+    "simulate_fleet",
+    "run_scenario",
+    "Scenario",
+    "get_scenario",
+    "meanfield_fixed_point",
+    "meanfield_delay",
+    "integrate_meanfield",
     "__version__",
 ]

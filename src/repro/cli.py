@@ -6,19 +6,25 @@ Installed as the ``repro-lb`` console script; also runnable as
 * ``analyze``   — bounds / asymptotics / optional simulation for one configuration,
 * ``figure9``   — regenerate one panel of the paper's Figure 9,
 * ``figure10``  — regenerate one panel of the paper's Figure 10,
-* ``sweep``     — run a custom parameter sweep and export CSV/JSON.
+* ``sweep``     — run a custom parameter sweep and export CSV/JSON,
+* ``fleet``     — occupancy-based large-N simulation vs the mean-field limit.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.core.analysis import analyze_sqd
+from repro.core.asymptotic import asymptotic_delay, relative_error_percent
 from repro.experiments.figure9 import Figure9Config, run_figure9
 from repro.experiments.figure10 import panel_config, run_figure10
 from repro.experiments.runner import SweepConfig, run_sweep
+from repro.fleet.engine import run_scenario, simulate_fleet
+from repro.fleet.meanfield import meanfield_delay
+from repro.fleet.scenarios import available_scenarios, get_scenario
 from repro.utils.tables import format_table
 
 
@@ -37,6 +43,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--simulate", action="store_true", help="also run a CTMC simulation")
     analyze.add_argument("--events", type=int, default=200_000, help="simulated events when --simulate is given")
     analyze.add_argument("--exact", action="store_true", help="also solve the truncated exact chain (small N only)")
+    analyze.add_argument("--seed", type=int, default=12345, help="simulation seed for reproducible runs")
 
     figure9 = subparsers.add_parser("figure9", help="relative error of the asymptotic delay vs simulation")
     figure9.add_argument("--utilization", "-u", type=float, default=0.95, help="per-server load rho")
@@ -58,6 +65,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--events", type=int, default=100_000)
     sweep.add_argument("--csv", type=str, default=None, help="write results to this CSV file")
     sweep.add_argument("--json", type=str, default=None, help="write results to this JSON file")
+    sweep.add_argument("--seed", type=int, default=20160627, help="base simulation seed for reproducible runs")
+
+    fleet = subparsers.add_parser("fleet", help="occupancy-based large-N fleet simulation vs the mean-field limit")
+    fleet.add_argument("--servers", "-N", type=int, required=True, help="number of servers N (up to ~10^6)")
+    fleet.add_argument("--choices", "-d", type=int, default=2, help="number of polled servers d")
+    fleet.add_argument("--utilization", "-u", type=float, default=None,
+                       help="per-server load rho (required unless --scenario is given)")
+    fleet.add_argument("--policy", choices=["sqd", "jsq", "random"], default="sqd", help="dispatching policy")
+    fleet.add_argument("--events", type=int, default=None, help="simulated events (default scales with N)")
+    fleet.add_argument("--scenario", choices=available_scenarios(), default=None,
+                       help="play a time-varying scenario instead of a stationary run")
+    fleet.add_argument("--cold-start", action="store_true",
+                       help="start from an empty cluster instead of the mean-field profile")
+    fleet.add_argument("--seed", type=int, default=12345, help="simulation seed for reproducible runs")
 
     return parser
 
@@ -70,6 +91,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         run_simulation=args.simulate,
         simulation_events=args.events,
+        simulation_seed=args.seed,
         compute_exact=args.exact,
     )
     rows = [
@@ -105,13 +127,7 @@ def _command_figure9(args: argparse.Namespace) -> int:
 def _command_figure10(args: argparse.Namespace) -> int:
     config = panel_config(args.panel, simulation_events=args.events)
     if args.no_simulation:
-        config = type(config)(
-            num_servers=config.num_servers,
-            threshold=config.threshold,
-            utilizations=config.utilizations,
-            simulation_events=config.simulation_events,
-            run_simulation=False,
-        )
+        config = replace(config, run_simulation=False)
     print(run_figure10(config).as_table())
     return 0
 
@@ -124,6 +140,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         thresholds=tuple(args.thresholds),
         run_simulation=args.simulate,
         simulation_events=args.events,
+        seed=args.seed,
     )
     result = run_sweep(config)
     print(result.as_table(title="SQ(d) finite-regime sweep"))
@@ -131,6 +148,75 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {result.to_csv(args.csv)}")
     if args.json:
         print(f"wrote {result.to_json(args.json)}")
+    return 0
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        # Scenarios carry their own loads, horizon and warm start; reject
+        # flags that would otherwise be silently ignored.
+        ignored = [
+            name
+            for name, given in [
+                ("--utilization", args.utilization is not None),
+                ("--events", args.events is not None),
+                ("--cold-start", args.cold_start),
+            ]
+            if given
+        ]
+        if ignored:
+            raise SystemExit(
+                f"repro-lb fleet: {', '.join(ignored)} cannot be combined with --scenario "
+                "(the scenario defines its own load, duration and warm-up)"
+            )
+        scenario = get_scenario(args.scenario)
+        result = run_scenario(
+            scenario,
+            num_servers=args.servers,
+            d=args.choices,
+            policy=args.policy,
+            seed=args.seed,
+        )
+        print(result.as_table())
+        print(
+            f"overall mean delay {result.overall_mean_delay:.4f} over "
+            f"{result.total_events} events ({result.total_time:.1f} simulated time units)"
+        )
+        return 0
+
+    if args.utilization is None:
+        raise SystemExit("repro-lb fleet: --utilization is required for stationary runs")
+    num_events = args.events if args.events is not None else max(400_000, 10 * args.servers)
+    result = simulate_fleet(
+        num_servers=args.servers,
+        d=args.choices,
+        utilization=args.utilization,
+        num_events=num_events,
+        seed=args.seed,
+        policy=args.policy,
+        start="empty" if args.cold_start else "stationary",
+    )
+    # Mean-field (N -> infinity) prediction per policy: power-of-d fixed
+    # point for sqd/random; under JSQ queues vanish in the limit, so the
+    # delay tends to the bare service time.
+    meanfield = 1.0 if args.policy == "jsq" else meanfield_delay(args.utilization, result.d)
+    rows = [
+        ["fleet simulation", result.mean_delay],
+        ["mean-field limit", meanfield],
+    ]
+    if args.policy == "sqd":
+        asymptote = asymptotic_delay(args.utilization, args.choices)
+        rows.append(["asymptotic (Eq. 16)", asymptote])
+        rows.append(["relative error vs asymptotic (%)", relative_error_percent(result.mean_delay, asymptote)])
+    title = (
+        f"fleet: {args.policy} with N={args.servers}, d={result.d}, rho={args.utilization} — "
+        f"{result.num_events} events at {result.events_per_second:,.0f} events/s"
+    )
+    print(format_table(["method", "mean delay"], rows, title=title))
+    print(
+        f"mean queue length {result.mean_queue_length:.4f} jobs/server over "
+        f"{result.simulated_time:.2f} simulated time units"
+    )
     return 0
 
 
@@ -143,6 +229,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure9": _command_figure9,
         "figure10": _command_figure10,
         "sweep": _command_sweep,
+        "fleet": _command_fleet,
     }
     return handlers[args.command](args)
 

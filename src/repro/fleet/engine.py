@@ -1,0 +1,535 @@
+"""Batched Gillespie driver over occupancy state for N up to 10^6.
+
+The driver jumps from event to event on the occupancy CTMC of
+:mod:`repro.fleet.occupancy`: the total jump rate is ``lambda * N`` (arrivals)
+plus ``mu * F[1]`` (one departure stream per busy server), a jump picks an
+arrival or departure level by an O(queue depth) scan, and exponential clocks
+come from pre-drawn uniform blocks (the buffering idiom of
+:class:`repro.simulation.cluster.ClusterSimulation`, but with the block
+converted to a plain list so the scalar hot loop never touches numpy).
+
+Per-level occupancy time-averages are maintained lazily: each event changes
+exactly one level, so the accumulator for that level alone is flushed with
+the time elapsed since *its* last change — event cost stays O(1) regardless
+of how many levels are tracked.  Mean delay is recovered from the
+time-averaged number of jobs through (distributional) Little's law with the
+*observed* arrival rate, which stays correct under the time-varying
+scenarios of :mod:`repro.fleet.scenarios`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.fleet.meanfield import meanfield_fixed_point
+from repro.fleet.occupancy import OccupancyState
+from repro.fleet.scenarios import Scenario
+from repro.utils.seeding import spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    ValidationError,
+    check_in_range,
+    check_integer,
+    check_positive,
+)
+
+__all__ = [
+    "FleetResult",
+    "FleetSimulation",
+    "ScenarioResult",
+    "simulate_fleet",
+    "run_scenario",
+]
+
+_POLICIES = ("sqd", "jsq", "random")
+_BLOCK_SIZE = 1 << 16
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Time-average statistics of one measurement window."""
+
+    num_servers: int
+    d: int
+    policy: str
+    utilization: float
+    service_rate: float
+    mean_jobs_in_system: float
+    mean_queue_length: float
+    mean_sojourn_time: float
+    mean_waiting_time: float
+    occupancy_fractions: np.ndarray
+    mean_servers: float
+    simulated_time: float
+    num_events: int
+    arrivals: int
+    departures: int
+    wall_seconds: float = float("nan")
+
+    @property
+    def mean_delay(self) -> float:
+        """The paper's "average delay" (mean response/sojourn time)."""
+        return self.mean_sojourn_time
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulated events per wall-clock second (nan if not timed)."""
+        if not math.isfinite(self.wall_seconds) or self.wall_seconds <= 0:
+            return float("nan")
+        return self.num_events / self.wall_seconds
+
+
+class FleetSimulation:
+    """Occupancy-vector Gillespie simulation of a dispatcher fleet.
+
+    Parameters
+    ----------
+    num_servers, d, utilization, service_rate:
+        The exponential cluster model; ``utilization`` is the per-server
+        arrival rate over the service rate and may be changed between
+        :meth:`advance` calls (or pushed past 1 for transient overload).
+    policy:
+        ``"sqd"`` (power of ``d`` choices over distinct servers, the law of
+        :class:`repro.policies.sqd.PowerOfD`), ``"jsq"`` or ``"random"``.
+    with_replacement:
+        Poll with replacement instead — the variant whose N -> infinity
+        limit is exactly the mean-field ODE.  The two laws differ by
+        O(d^2/N) and are indistinguishable at fleet scale.
+    initial_state:
+        Starting occupancy; defaults to an empty cluster.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        d: int = 2,
+        utilization: float = 0.9,
+        service_rate: float = 1.0,
+        policy: str = "sqd",
+        seed: Optional[int] = 12345,
+        initial_state: Optional[OccupancyState] = None,
+        with_replacement: bool = False,
+    ):
+        num_servers = check_integer("num_servers", num_servers, minimum=1)
+        if policy not in _POLICIES:
+            raise ValidationError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        if policy == "random":
+            d = 1
+        self._d = check_integer("d", d, minimum=1, maximum=num_servers)
+        check_in_range("utilization", utilization, 0.0, 10.0)
+        check_positive("service_rate", service_rate)
+        self._policy = policy
+        self._service_rate = float(service_rate)
+        self._arrival_rate_per_server = float(utilization) * self._service_rate
+        self._with_replacement = bool(with_replacement)
+
+        if initial_state is None:
+            self._state = OccupancyState.empty(num_servers)
+        else:
+            if initial_state.num_servers != num_servers:
+                raise ValidationError(
+                    f"initial_state has {initial_state.num_servers} servers, expected {num_servers}"
+                )
+            self._state = initial_state.copy()
+
+        (self._rng,) = spawn_rngs(seed, 1)
+        self._block: List[float] = self._rng.random(_BLOCK_SIZE).tolist()
+        self._index = 0
+
+        self._now = 0.0
+        self._events_total = 0
+        self._reset_window()
+
+    # ------------------------------------------------------------------ #
+    # Statistics window management
+    # ------------------------------------------------------------------ #
+    def _reset_window(self) -> None:
+        self._stats_start = self._now
+        self._weighted_jobs = 0.0
+        self._arrivals = 0
+        self._departures = 0
+        self._window_events = 0
+        depth = len(self._state.levels)
+        self._level_weight = [0.0] * depth
+        self._level_last = [self._now] * depth
+
+    def _flush_levels(self) -> None:
+        now = self._now
+        levels = self._state.levels
+        for j in range(len(self._level_weight)):
+            count = levels[j] if j < len(levels) else 0
+            self._level_weight[j] += count * (now - self._level_last[j])
+            self._level_last[j] = now
+
+    def reset_statistics(self) -> None:
+        """Drop everything measured so far; the cluster state is kept."""
+        self._reset_window()
+
+    # ------------------------------------------------------------------ #
+    # Reconfiguration between advances (scenario support)
+    # ------------------------------------------------------------------ #
+    def set_utilization(self, utilization: float) -> None:
+        """Change the per-server offered load for subsequent events."""
+        check_in_range("utilization", utilization, 0.0, 10.0)
+        self._arrival_rate_per_server = float(utilization) * self._service_rate
+
+    def set_num_servers(self, num_servers: int) -> int:
+        """Resize the pool (idle servers only leave); returns the actual size."""
+        check_integer("num_servers", num_servers, minimum=1)
+        if self._d > max(num_servers, self._state.busy_servers):
+            raise ValidationError(f"cannot shrink below d={self._d} servers")
+        self._flush_levels()
+        return self._state.resize(num_servers)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def state(self) -> OccupancyState:
+        return self._state
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_total
+
+    # ------------------------------------------------------------------ #
+    # The hot loop
+    # ------------------------------------------------------------------ #
+    def advance(self, max_events: Optional[int] = None, until_time: Optional[float] = None) -> int:
+        """Simulate until ``max_events`` fire or the clock reaches ``until_time``.
+
+        Returns the number of events executed.  At least one stop condition
+        is required.  Statistics accumulate into the current window.
+        """
+        if max_events is None and until_time is None:
+            raise ValidationError("advance() needs max_events and/or until_time")
+        if max_events is not None:
+            check_integer("max_events", max_events, minimum=0)
+
+        state = self._state
+        levels = state.levels
+        rng = self._rng
+        block = self._block
+        block_limit = len(block) - 1
+        idx = self._index
+        now = self._now
+        total_jobs = state.total_jobs
+        weighted_jobs = 0.0
+        events = 0
+        arrivals = 0
+        departures = 0
+        level_weight = self._level_weight
+        level_last = self._level_last
+
+        n = levels[0]
+        d = self._d
+        jsq = self._policy == "jsq"
+        with_replacement = self._with_replacement
+        inv_d = 1.0 / d
+        pair_inv = 1.0 / (n * (n - 1)) if n > 1 else 0.0
+        mu = self._service_rate
+        arrival_rate = self._arrival_rate_per_server * n
+        log = math.log
+
+        while True:
+            if max_events is not None and events >= max_events:
+                break
+            busy = levels[1] if len(levels) > 1 else 0
+            total_rate = arrival_rate + mu * busy
+            if total_rate <= 0.0:
+                if until_time is not None and now < until_time:
+                    weighted_jobs += total_jobs * (until_time - now)
+                    now = until_time
+                break
+            if idx >= block_limit:
+                block = rng.random(_BLOCK_SIZE).tolist()
+                idx = 0
+            u1 = block[idx]
+            u2 = block[idx + 1]
+            idx += 2
+            holding = -log(1.0 - u1) / total_rate
+            if until_time is not None and now + holding > until_time:
+                weighted_jobs += total_jobs * (until_time - now)
+                now = until_time
+                break
+            weighted_jobs += total_jobs * holding
+            now += holding
+            x = u2 * total_rate
+            if x < arrival_rate:
+                # Arrival.  Conditioned on the branch, x / arrival_rate is
+                # again U(0,1) and drives the join-level scan.
+                v = x / arrival_rate
+                k = 0
+                if jsq:
+                    while k + 1 < len(levels) and levels[k + 1] == n:
+                        k += 1
+                elif d == 1:
+                    threshold = v * n
+                    while k + 1 < len(levels) and levels[k + 1] > threshold:
+                        k += 1
+                elif with_replacement:
+                    threshold = (v**inv_d) * n
+                    while k + 1 < len(levels) and levels[k + 1] > threshold:
+                        k += 1
+                elif d == 2:
+                    while k + 1 < len(levels):
+                        m = levels[k + 1]
+                        if m < 2 or m * (m - 1) * pair_inv <= v:
+                            break
+                        k += 1
+                else:
+                    while k + 1 < len(levels):
+                        m = levels[k + 1]
+                        if m < d:
+                            break
+                        p = 1.0
+                        for j in range(d):
+                            p *= (m - j) / (n - j)
+                        if p <= v:
+                            break
+                        k += 1
+                target = k + 1
+                if target == len(levels):
+                    levels.append(1)
+                    if target == len(level_weight):
+                        level_weight.append(0.0)
+                        level_last.append(now)
+                    else:
+                        level_last[target] = now
+                else:
+                    level_weight[target] += levels[target] * (now - level_last[target])
+                    level_last[target] = now
+                    levels[target] += 1
+                total_jobs += 1
+                arrivals += 1
+            else:
+                # Departure from a uniformly random busy server; the residual
+                # uniform (x - arrival_rate) / (mu * busy) picks its level.
+                r = (x - arrival_rate) / mu
+                k = 1
+                while k + 1 < len(levels) and levels[k + 1] > r:
+                    k += 1
+                level_weight[k] += levels[k] * (now - level_last[k])
+                level_last[k] = now
+                levels[k] -= 1
+                if levels[k] == 0 and k == len(levels) - 1:
+                    levels.pop()
+                total_jobs -= 1
+                departures += 1
+            events += 1
+
+        self._now = now
+        self._index = idx
+        self._block = block
+        state.total_jobs = total_jobs
+        self._weighted_jobs += weighted_jobs
+        self._arrivals += arrivals
+        self._departures += departures
+        self._window_events += events
+        self._events_total += events
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def statistics(self, wall_seconds: float = float("nan")) -> FleetResult:
+        """Snapshot the current measurement window as a :class:`FleetResult`."""
+        self._flush_levels()
+        measured = self._now - self._stats_start
+        if measured <= 0:
+            raise ValidationError("no simulated time accumulated in this statistics window")
+        mean_jobs = self._weighted_jobs / measured
+        counts = np.asarray(self._level_weight, dtype=float) / measured
+        mean_servers = counts[0] if counts.shape[0] else float(self._state.num_servers)
+        effective_lambda = self._arrivals / measured
+        if effective_lambda > 0:
+            sojourn = mean_jobs / effective_lambda
+            waiting = sojourn - 1.0 / self._service_rate
+        else:
+            sojourn = float("nan")
+            waiting = float("nan")
+        return FleetResult(
+            num_servers=self._state.num_servers,
+            d=self._d,
+            policy=self._policy,
+            utilization=self._arrival_rate_per_server / self._service_rate,
+            service_rate=self._service_rate,
+            mean_jobs_in_system=float(mean_jobs),
+            mean_queue_length=float(mean_jobs / mean_servers) if mean_servers > 0 else float("nan"),
+            mean_sojourn_time=float(sojourn),
+            mean_waiting_time=float(waiting),
+            occupancy_fractions=counts / mean_servers if mean_servers > 0 else counts,
+            mean_servers=float(mean_servers),
+            simulated_time=float(measured),
+            num_events=self._window_events,
+            arrivals=self._arrivals,
+            departures=self._departures,
+            wall_seconds=wall_seconds,
+        )
+
+
+def _stationary_start(num_servers: int, d: int, utilization: float, policy: str) -> OccupancyState:
+    """Occupancy profile near the stationary regime, for fast warm-up."""
+    if utilization >= 1.0 or utilization <= 0.0:
+        return OccupancyState.empty(num_servers)
+    if policy == "jsq":
+        fractions = [1.0, utilization]
+    elif policy == "random":
+        fractions = meanfield_fixed_point(utilization, 1)
+    else:
+        fractions = meanfield_fixed_point(utilization, d)
+    return OccupancyState.from_fractions(num_servers, fractions)
+
+
+def simulate_fleet(
+    num_servers: int,
+    d: int = 2,
+    utilization: float = 0.9,
+    service_rate: float = 1.0,
+    num_events: int = 500_000,
+    warmup_fraction: float = 0.1,
+    seed: Optional[int] = 12345,
+    policy: str = "sqd",
+    start: Union[str, OccupancyState] = "stationary",
+    with_replacement: bool = False,
+) -> FleetResult:
+    """Stationary fleet simulation: warm up, measure, return time averages.
+
+    ``start="stationary"`` seeds the occupancy at the mean-field fixed point
+    so the warm-up only has to absorb O(sqrt(N)) fluctuations instead of the
+    O(1/(1 - rho)) fill-up transient; ``start="empty"`` reproduces the
+    classic cold start.  Mean delay is recovered via Little's law exactly as
+    in :func:`repro.simulation.gillespie.simulate_sqd_ctmc`.
+    """
+    check_in_range("utilization", utilization, 0.0, 1.0)
+    if utilization >= 1.0:
+        raise ValidationError("utilization must be strictly below 1 for a stationary run")
+    num_events = check_integer("num_events", num_events, minimum=1)
+    check_in_range("warmup_fraction", warmup_fraction, 0.0, 0.9)
+
+    if isinstance(start, OccupancyState):
+        initial = start
+    elif start == "stationary":
+        initial = _stationary_start(num_servers, d, utilization, policy)
+    elif start == "empty":
+        initial = None
+    else:
+        raise ValidationError(f"start must be 'stationary', 'empty' or an OccupancyState, got {start!r}")
+
+    simulation = FleetSimulation(
+        num_servers=num_servers,
+        d=d,
+        utilization=utilization,
+        service_rate=service_rate,
+        policy=policy,
+        seed=seed,
+        initial_state=initial,
+        with_replacement=with_replacement,
+    )
+    warmup_events = int(num_events * warmup_fraction)
+    if warmup_events:
+        simulation.advance(max_events=warmup_events)
+        simulation.reset_statistics()
+    started = time.perf_counter()
+    simulation.advance(max_events=num_events - warmup_events)
+    wall = time.perf_counter() - started
+    return simulation.statistics(wall_seconds=wall)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Per-phase fleet statistics for one scenario playback."""
+
+    scenario: Scenario
+    num_servers: int
+    phases: Tuple[FleetResult, ...]
+    labels: Tuple[str, ...]
+
+    @property
+    def total_events(self) -> int:
+        return sum(phase.num_events for phase in self.phases)
+
+    @property
+    def total_time(self) -> float:
+        return sum(phase.simulated_time for phase in self.phases)
+
+    @property
+    def overall_mean_delay(self) -> float:
+        """Arrival-weighted mean delay across all phases (Little's law)."""
+        jobs_time = sum(p.mean_jobs_in_system * p.simulated_time for p in self.phases)
+        arrivals = sum(p.arrivals for p in self.phases)
+        return jobs_time / arrivals if arrivals else float("nan")
+
+    def as_table(self) -> str:
+        headers = ["phase", "rho", "N", "jobs/server", "mean delay", "events"]
+        rows = []
+        for label, phase in zip(self.labels, self.phases):
+            rows.append(
+                [
+                    label,
+                    phase.utilization,
+                    phase.num_servers,
+                    phase.mean_queue_length,
+                    phase.mean_sojourn_time,
+                    phase.num_events,
+                ]
+            )
+        title = (
+            f"scenario '{self.scenario.name}' on N={self.num_servers} base servers: "
+            f"{self.scenario.description}"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def run_scenario(
+    scenario: Scenario,
+    num_servers: int,
+    d: int = 2,
+    service_rate: float = 1.0,
+    policy: str = "sqd",
+    seed: Optional[int] = 12345,
+    with_replacement: bool = False,
+) -> ScenarioResult:
+    """Play a :class:`Scenario` through the occupancy engine.
+
+    The cluster state carries across phase boundaries (that is the point:
+    transients from one phase bleed into the next); statistics are windowed
+    per phase.  The warm-up runs at the first phase's settings from a
+    near-stationary start and is discarded.
+    """
+    first = scenario.phases[0]
+    base_servers = check_integer("num_servers", num_servers, minimum=1)
+    initial_n = max(1, int(round(base_servers * first.server_scale)))
+    simulation = FleetSimulation(
+        num_servers=initial_n,
+        d=d,
+        utilization=first.utilization,
+        service_rate=service_rate,
+        policy=policy,
+        seed=seed,
+        initial_state=_stationary_start(initial_n, d, first.utilization, policy),
+        with_replacement=with_replacement,
+    )
+    if scenario.warmup_time > 0:
+        simulation.advance(until_time=simulation.now + scenario.warmup_time)
+    results: List[FleetResult] = []
+    labels: List[str] = []
+    for index, phase in enumerate(scenario.phases):
+        simulation.set_utilization(phase.utilization)
+        simulation.set_num_servers(max(1, int(round(base_servers * phase.server_scale))))
+        simulation.reset_statistics()
+        simulation.advance(until_time=simulation.now + phase.duration)
+        results.append(simulation.statistics())
+        labels.append(phase.label or f"phase {index + 1}")
+    return ScenarioResult(
+        scenario=scenario,
+        num_servers=base_servers,
+        phases=tuple(results),
+        labels=tuple(labels),
+    )

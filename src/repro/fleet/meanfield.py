@@ -1,0 +1,193 @@
+"""Mean-field (N -> infinity) limit of power-of-d load balancing.
+
+As ``N`` grows, the occupancy fractions ``s_k(t)`` = fraction of servers with
+at least ``k`` jobs concentrate on the deterministic hydrodynamic limit
+(Mitzenmacher; Aghajani & Ramanan, arXiv:1707.02005)
+
+.. math:: \\dot s_k = \\lambda (s_{k-1}^d - s_k^d) - (s_k - s_{k+1}),
+          \\qquad k \\ge 1,\\ s_0 = 1 ,
+
+for per-server arrival rate ``lambda`` and unit service rate.  Its unique
+fixed point is ``s_k = lambda^{(d^k - 1)/(d - 1)}`` (Agarwal & Ramanan,
+arXiv:2008.08510 study the invariant states in general), whose mean queue
+length divided by ``lambda`` is exactly the paper's asymptotic delay Eq. (16)
+— so this module supplies both the *stationary* asymptote the paper brackets
+and the *transient* prediction the fleet simulator's scenarios can be
+checked against.
+
+Everything here is dependency-free (no numpy): a classic fixed-step RK4 on a
+truncated level ladder, sized so the truncation error is far below the
+integration tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.utils.validation import ValidationError, check_in_range, check_integer, check_positive
+
+__all__ = [
+    "MeanFieldTrajectory",
+    "integrate_meanfield",
+    "meanfield_fixed_point",
+    "meanfield_mean_queue_length",
+    "meanfield_delay",
+]
+
+
+def meanfield_fixed_point(
+    utilization: float, d: int, tolerance: float = 1e-14, max_levels: int = 200
+) -> List[float]:
+    """Stationary occupancy fractions ``s_k = lambda^{(d^k - 1)/(d - 1)}``.
+
+    The list starts at ``s_0 = 1`` and is truncated once a term falls below
+    ``tolerance``.  ``d = 1`` degenerates to the M/M/1 geometric profile.
+    """
+    check_in_range("utilization", utilization, 0.0, 1.0)
+    if utilization >= 1.0:
+        raise ValidationError("the mean-field fixed point requires utilization < 1")
+    d = check_integer("d", d, minimum=1)
+    check_integer("max_levels", max_levels, minimum=1)
+    fractions = [1.0]
+    if utilization == 0.0:
+        return fractions
+    for k in range(1, max_levels + 1):
+        exponent = k if d == 1 else (d**k - 1) / (d - 1)
+        term = utilization**exponent
+        fractions.append(term)
+        if term < tolerance:
+            break
+    return fractions
+
+
+def meanfield_mean_queue_length(utilization: float, d: int, tolerance: float = 1e-14) -> float:
+    """Stationary mean jobs per server, ``sum_{k >= 1} s_k``."""
+    check_in_range("utilization", utilization, 0.0, 1.0)
+    if utilization >= 1.0:
+        raise ValidationError("the mean-field fixed point requires utilization < 1")
+    if check_integer("d", d, minimum=1) == 1:
+        # Geometric profile: the tail decays only singly exponentially, so
+        # sum it in closed form instead of truncating the ladder.
+        return utilization / (1.0 - utilization)
+    return sum(meanfield_fixed_point(utilization, d, tolerance=tolerance)[1:])
+
+
+def meanfield_delay(utilization: float, d: int, tolerance: float = 1e-14) -> float:
+    """Stationary mean sojourn time via Little's law, ``sum_{k>=1} s_k / lambda``.
+
+    Algebraically identical to the paper's Eq. (16)
+    (:func:`repro.core.asymptotic.asymptotic_delay`); computed from the ODE
+    fixed point as an independent cross-check.
+    """
+    check_in_range("utilization", utilization, 0.0, 1.0)
+    if utilization == 0.0:
+        return 1.0
+    return meanfield_mean_queue_length(utilization, d, tolerance=tolerance) / utilization
+
+
+@dataclass(frozen=True)
+class MeanFieldTrajectory:
+    """RK4 solution of the mean-field ODE on a truncated level ladder."""
+
+    utilization: float
+    d: int
+    times: List[float]
+    mean_queue_lengths: List[float]
+    final_state: List[float]
+    states: Optional[List[List[float]]] = None
+
+    @property
+    def final_mean_queue_length(self) -> float:
+        return self.mean_queue_lengths[-1]
+
+    @property
+    def final_delay(self) -> float:
+        """Little's-law delay of the final state (meaningful near stationarity)."""
+        if self.utilization == 0.0:
+            return 1.0
+        return self.final_mean_queue_length / self.utilization
+
+
+def _rhs(state: List[float], utilization: float, d: int) -> List[float]:
+    """Right-hand side of the ODE; ``state[0] = 1`` is a fixed boundary."""
+    size = len(state)
+    derivative = [0.0] * size
+    for k in range(1, size):
+        inflow = state[k - 1] ** d - state[k] ** d
+        outflow = state[k] - (state[k + 1] if k + 1 < size else 0.0)
+        derivative[k] = utilization * inflow - outflow
+    return derivative
+
+
+def integrate_meanfield(
+    utilization: float,
+    d: int,
+    t_end: float,
+    dt: float = 0.02,
+    initial: Optional[Sequence[float]] = None,
+    max_levels: int = 64,
+    store_states: bool = False,
+) -> MeanFieldTrajectory:
+    """Integrate the power-of-d mean-field ODE with fixed-step RK4.
+
+    Parameters
+    ----------
+    utilization:
+        Per-server arrival rate ``lambda`` (unit service rate).  Transient
+        overload (``lambda >= 1``) is allowed — queues then grow without
+        bound, which is exactly what flash-crowd scenarios probe.
+    initial:
+        Starting occupancy fractions (``s_0`` may be omitted or given as 1).
+        Defaults to an empty system.
+    max_levels:
+        Truncation depth of the level ladder.  The profile decays doubly
+        exponentially for ``d >= 2``, so the default is conservative.
+    """
+    check_in_range("utilization", utilization, 0.0, 10.0)
+    d = check_integer("d", d, minimum=1)
+    check_positive("t_end", t_end)
+    check_positive("dt", dt)
+    check_integer("max_levels", max_levels, minimum=2)
+
+    state = [1.0] + [0.0] * max_levels
+    if initial is not None:
+        values = list(initial)
+        if values and abs(values[0] - 1.0) > 1e-12:
+            raise ValidationError("initial occupancy must have s_0 = 1")
+        for k in range(1, min(len(values), max_levels + 1)):
+            state[k] = check_in_range(f"initial[{k}]", values[k], 0.0, 1.0)
+
+    steps = max(1, int(math.ceil(t_end / dt)))
+    step = t_end / steps
+    times = [0.0]
+    mean_queue_lengths = [sum(state[1:])]
+    states: Optional[List[List[float]]] = [list(state)] if store_states else None
+
+    for index in range(steps):
+        k1 = _rhs(state, utilization, d)
+        mid1 = [s + 0.5 * step * g for s, g in zip(state, k1)]
+        k2 = _rhs(mid1, utilization, d)
+        mid2 = [s + 0.5 * step * g for s, g in zip(state, k2)]
+        k3 = _rhs(mid2, utilization, d)
+        end = [s + step * g for s, g in zip(state, k3)]
+        k4 = _rhs(end, utilization, d)
+        state = [
+            min(1.0, max(0.0, s + step * (a + 2.0 * b + 2.0 * c + e) / 6.0))
+            for s, a, b, c, e in zip(state, k1, k2, k3, k4)
+        ]
+        state[0] = 1.0
+        times.append((index + 1) * step)
+        mean_queue_lengths.append(sum(state[1:]))
+        if states is not None:
+            states.append(list(state))
+
+    return MeanFieldTrajectory(
+        utilization=float(utilization),
+        d=d,
+        times=times,
+        mean_queue_lengths=mean_queue_lengths,
+        final_state=state,
+        states=states,
+    )

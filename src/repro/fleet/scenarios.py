@@ -1,0 +1,192 @@
+"""Registry of time-varying fleet workloads.
+
+A :class:`Scenario` is a sequence of piecewise-constant phases — per-server
+arrival rate and pool-size scale — that the occupancy engine
+(:func:`repro.fleet.engine.run_scenario`) plays back while carrying the
+cluster state across phase boundaries.  Piecewise-constant segments keep the
+Gillespie dynamics exact (no thinning needed) while still expressing the
+workloads that matter at production scale: diurnal ramps, flash crowds and
+autoscaler-style pool resizing.
+
+Scenarios are N-agnostic: phases scale the engine's base pool size through
+``server_scale``, so the same scenario runs at N = 100 and N = 10^6.
+Builders are registered in :data:`SCENARIOS` and resolved by name through
+:func:`get_scenario`, which is what the CLI's ``fleet --scenario`` flag uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.utils.validation import ValidationError, check_in_range, check_integer, check_positive
+
+__all__ = [
+    "ScenarioPhase",
+    "Scenario",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """One piecewise-constant segment of a workload.
+
+    ``utilization`` is the per-server arrival rate relative to the service
+    rate; transient overload (>= 1) is permitted — the occupancy engine
+    handles growing queues and the mean-field ODE predicts the same ramp-up.
+    ``server_scale`` multiplies the engine's base pool size (shrinking only
+    removes idle servers, see :meth:`OccupancyState.resize`).
+    """
+
+    duration: float
+    utilization: float
+    server_scale: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive("duration", self.duration)
+        check_in_range("utilization", self.utilization, 0.0, 10.0)
+        check_positive("server_scale", self.server_scale)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named sequence of phases plus a stationary warm-up period."""
+
+    name: str
+    description: str
+    phases: Tuple[ScenarioPhase, ...]
+    warmup_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValidationError("a scenario needs at least one phase")
+        if self.warmup_time < 0:
+            raise ValidationError("warmup_time must be >= 0")
+
+    @property
+    def total_duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+
+ScenarioBuilder = Callable[..., Scenario]
+
+SCENARIOS: Dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Decorator adding a builder to the :data:`SCENARIOS` registry."""
+
+    def decorate(builder: ScenarioBuilder) -> ScenarioBuilder:
+        SCENARIOS[name] = builder
+        return builder
+
+    return decorate
+
+
+def get_scenario(name: str, **parameters) -> Scenario:
+    """Build a registered scenario by name, forwarding keyword overrides."""
+    if name not in SCENARIOS:
+        raise ValidationError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        )
+    return SCENARIOS[name](**parameters)
+
+
+def available_scenarios() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in scenarios
+# ---------------------------------------------------------------------- #
+@register_scenario("constant")
+def constant_load(utilization: float = 0.9, duration: float = 50.0, warmup_time: float = 10.0) -> Scenario:
+    """Stationary load — the baseline every other scenario deviates from."""
+    return Scenario(
+        name="constant",
+        description=f"constant per-server load {utilization}",
+        phases=(ScenarioPhase(duration=duration, utilization=utilization, label="steady"),),
+        warmup_time=warmup_time,
+    )
+
+
+@register_scenario("ramp")
+def load_ramp(
+    start_utilization: float = 0.5,
+    end_utilization: float = 0.95,
+    steps: int = 6,
+    total_duration: float = 60.0,
+    warmup_time: float = 10.0,
+) -> Scenario:
+    """A staircase ramp between two load levels (diurnal traffic growth)."""
+    steps = check_integer("steps", steps, minimum=2)
+    span = end_utilization - start_utilization
+    phases = tuple(
+        ScenarioPhase(
+            duration=total_duration / steps,
+            utilization=start_utilization + span * index / (steps - 1),
+            label=f"ramp {index + 1}/{steps}",
+        )
+        for index in range(steps)
+    )
+    return Scenario(
+        name="ramp",
+        description=f"load ramp {start_utilization} -> {end_utilization} in {steps} steps",
+        phases=phases,
+        warmup_time=warmup_time,
+    )
+
+
+@register_scenario("flash-crowd")
+def flash_crowd(
+    base_utilization: float = 0.7,
+    peak_utilization: float = 1.4,
+    peak_duration: float = 5.0,
+    recovery_duration: float = 30.0,
+    warmup_time: float = 10.0,
+) -> Scenario:
+    """A short overload burst followed by drain-down at the base load."""
+    phases = (
+        ScenarioPhase(duration=10.0, utilization=base_utilization, label="base"),
+        ScenarioPhase(duration=peak_duration, utilization=peak_utilization, label="spike"),
+        ScenarioPhase(duration=recovery_duration, utilization=base_utilization, label="recovery"),
+    )
+    return Scenario(
+        name="flash-crowd",
+        description=f"flash crowd {base_utilization} -> {peak_utilization} -> {base_utilization}",
+        phases=phases,
+        warmup_time=warmup_time,
+    )
+
+
+@register_scenario("resize")
+def pool_resize(
+    utilization: float = 0.8,
+    scale_up: float = 1.5,
+    scale_down: float = 0.75,
+    phase_duration: float = 15.0,
+    warmup_time: float = 10.0,
+) -> Scenario:
+    """Autoscaler-style pool resizing at constant offered per-server load.
+
+    Note the per-server utilization is held fixed, so the *total* arrival
+    rate follows the pool size — the interesting effect is the occupancy
+    redistribution when servers join empty or drain away idle.
+    """
+    phases = (
+        ScenarioPhase(duration=phase_duration, utilization=utilization, server_scale=1.0, label="baseline"),
+        ScenarioPhase(duration=phase_duration, utilization=utilization, server_scale=scale_up, label="scaled up"),
+        ScenarioPhase(duration=phase_duration, utilization=utilization, server_scale=scale_down, label="scaled down"),
+        ScenarioPhase(duration=phase_duration, utilization=utilization, server_scale=1.0, label="restored"),
+    )
+    return Scenario(
+        name="resize",
+        description=f"server-pool resizing x{scale_up} then x{scale_down} at load {utilization}",
+        phases=phases,
+        warmup_time=warmup_time,
+    )

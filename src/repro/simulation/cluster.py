@@ -87,6 +87,7 @@ class ClusterSimulation:
         self._jobs_completed = 0
         self._queue_length_seen_sum = 0.0
         self._max_jobs: Optional[int] = None
+        self._has_run = False
 
         # Pre-draw interarrival and service times in blocks to avoid per-event
         # generator call overhead.
@@ -163,8 +164,19 @@ class ClusterSimulation:
     # Public API
     # ------------------------------------------------------------------ #
     def run(self, num_jobs: int) -> ClusterResult:
-        """Simulate until ``num_jobs`` jobs have *arrived* and all of them completed."""
+        """Simulate until ``num_jobs`` jobs have *arrived* and all of them completed.
+
+        A simulation instance is single-shot: queues, clocks and accumulated
+        statistics are not reset between runs, so calling :meth:`run` twice
+        would silently mix the statistics of both runs.
+        """
         check_integer("num_jobs", num_jobs, minimum=1)
+        if self._has_run:
+            raise RuntimeError(
+                "ClusterSimulation.run() may only be called once per instance: state and "
+                "statistics are not reset. Construct a fresh ClusterSimulation to re-run."
+            )
+        self._has_run = True
         self._max_jobs = num_jobs
         self._policy.reset()
         self._scheduler.schedule(self._next_interarrival(), self._handle_arrival)

@@ -85,18 +85,26 @@ class EventScheduler:
         return False
 
     def run(self, until_time: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the event list empties, ``until_time`` passes, or ``max_events`` fire."""
+        """Run until the event list empties, ``until_time`` passes, or ``max_events`` fire.
+
+        When ``until_time`` is given the clock always ends at ``until_time``
+        (unless ``max_events`` stops the run first), even if the event list
+        drains beforehand — callers can rely on ``now`` to resume from the
+        requested horizon.
+        """
         executed_at_start = self._executed_events
         while self._heap:
             if max_events is not None and self._executed_events - executed_at_start >= max_events:
                 return
             next_time = self._peek_time()
             if next_time is None:
-                return
+                break
             if until_time is not None and next_time > until_time:
                 self._now = until_time
                 return
             self.step()
+        if until_time is not None and self._now < until_time:
+            self._now = until_time
 
     def _peek_time(self) -> Optional[float]:
         while self._heap and self._heap[0].event.cancelled:

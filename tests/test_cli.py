@@ -78,3 +78,74 @@ class TestSweepCommand:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSeedFlags:
+    def test_analyze_seed_is_reproducible(self, capsys):
+        args = ["analyze", "-N", "3", "-d", "2", "-u", "0.5", "-T", "2", "--simulate",
+                "--events", "20000", "--seed", "99"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_sweep_accepts_seed(self, capsys):
+        exit_code = main(
+            ["sweep", "--servers", "3", "--choices", "2", "--utilizations", "0.5",
+             "--thresholds", "2", "--simulate", "--events", "20000", "--seed", "7"]
+        )
+        assert exit_code == 0
+        assert "sweep" in capsys.readouterr().out.lower()
+
+
+class TestFleetCommand:
+    def test_stationary_run_reports_comparison(self, capsys):
+        exit_code = main(
+            ["fleet", "-N", "1000", "-d", "2", "-u", "0.9", "--events", "100000", "--seed", "5"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fleet simulation" in output
+        assert "mean-field" in output
+        assert "asymptotic" in output
+
+    def test_seed_is_reproducible(self, capsys):
+        args = ["fleet", "-N", "500", "-u", "0.8", "--events", "50000", "--seed", "3"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        # events/s (wall clock) varies between runs; the simulated numbers don't
+        assert first.splitlines()[2:] == second.splitlines()[2:]
+
+    def test_scenario_run(self, capsys):
+        exit_code = main(
+            ["fleet", "-N", "500", "--scenario", "flash-crowd", "--seed", "4"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "flash-crowd" in output
+        assert "spike" in output
+        assert "overall mean delay" in output
+
+    def test_utilization_required_without_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "-N", "100"])
+
+    def test_scenario_rejects_stationary_flags(self):
+        # --utilization/--events/--cold-start would be silently ignored
+        with pytest.raises(SystemExit, match="--utilization"):
+            main(["fleet", "-N", "100", "--scenario", "constant", "-u", "0.99"])
+        with pytest.raises(SystemExit, match="--events"):
+            main(["fleet", "-N", "100", "--scenario", "constant", "--events", "1000"])
+        with pytest.raises(SystemExit, match="--cold-start"):
+            main(["fleet", "-N", "100", "--scenario", "constant", "--cold-start"])
+
+    def test_jsq_policy(self, capsys):
+        exit_code = main(
+            ["fleet", "-N", "200", "-u", "0.7", "--policy", "jsq", "--events", "50000"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "jsq" in output

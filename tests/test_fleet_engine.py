@@ -1,0 +1,193 @@
+"""Tests for the occupancy-based fleet engine, including cross-validation
+against the per-job and per-server simulators on small clusters."""
+
+import math
+
+import pytest
+
+from repro.core.asymptotic import asymptotic_delay
+from repro.fleet.engine import FleetSimulation, run_scenario, simulate_fleet
+from repro.fleet.meanfield import meanfield_delay
+from repro.fleet.occupancy import OccupancyState
+from repro.fleet.scenarios import Scenario, ScenarioPhase, get_scenario
+from repro.policies.sqd import PowerOfD
+from repro.simulation.cluster import ClusterSimulation
+from repro.simulation.gillespie import simulate_sqd_ctmc
+from repro.simulation.workloads import poisson_exponential_workload
+from repro.utils.validation import ValidationError
+
+
+class TestBasics:
+    def test_deterministic_given_seed(self):
+        first = simulate_fleet(50, d=2, utilization=0.8, num_events=50_000, seed=11)
+        second = simulate_fleet(50, d=2, utilization=0.8, num_events=50_000, seed=11)
+        assert first.mean_sojourn_time == second.mean_sojourn_time
+        assert first.num_events == second.num_events
+
+    def test_seed_changes_realization(self):
+        first = simulate_fleet(50, d=2, utilization=0.8, num_events=50_000, seed=11)
+        second = simulate_fleet(50, d=2, utilization=0.8, num_events=50_000, seed=12)
+        assert first.mean_sojourn_time != second.mean_sojourn_time
+
+    def test_arrivals_balance_departures_and_jobs(self):
+        simulation = FleetSimulation(num_servers=20, d=2, utilization=0.7, seed=3)
+        simulation.advance(max_events=30_000)
+        result = simulation.statistics()
+        assert result.arrivals - result.departures == simulation.state.total_jobs
+        assert result.num_events == result.arrivals + result.departures == 30_000
+
+    def test_advance_until_time(self):
+        simulation = FleetSimulation(num_servers=10, d=2, utilization=0.5, seed=5)
+        simulation.advance(until_time=25.0)
+        assert simulation.now == pytest.approx(25.0)
+
+    def test_advance_requires_a_stop_condition(self):
+        simulation = FleetSimulation(num_servers=10, d=2, utilization=0.5, seed=5)
+        with pytest.raises(ValidationError):
+            simulation.advance()
+
+    def test_zero_rate_jumps_to_horizon(self):
+        simulation = FleetSimulation(num_servers=10, d=2, utilization=0.0, seed=5)
+        executed = simulation.advance(until_time=10.0)
+        assert executed == 0
+        assert simulation.now == pytest.approx(10.0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            FleetSimulation(num_servers=10, policy="least-loaded")
+
+    def test_shrink_below_d_rejected_without_mutation(self):
+        simulation = FleetSimulation(num_servers=10, d=5, utilization=0.5, seed=1)
+        with pytest.raises(ValidationError):
+            simulation.set_num_servers(2)
+        assert simulation.state.num_servers == 10  # failed resize left state intact
+
+    def test_scenario_service_rate_scales_time(self):
+        """Phase utilizations are relative to the service rate, not divided by it."""
+        scenario = Scenario(
+            name="steady",
+            description="one phase",
+            phases=(ScenarioPhase(duration=10.0, utilization=0.8),),
+            warmup_time=5.0,
+        )
+        fast = run_scenario(scenario, num_servers=500, d=2, service_rate=2.0, seed=17)
+        slow = run_scenario(scenario, num_servers=500, d=2, service_rate=1.0, seed=17)
+        # same rho: identical occupancy statistics, delays scaled by 1/mu
+        assert fast.phases[0].mean_queue_length == pytest.approx(
+            slow.phases[0].mean_queue_length, rel=0.15
+        )
+        assert fast.phases[0].mean_sojourn_time == pytest.approx(
+            slow.phases[0].mean_sojourn_time / 2.0, rel=0.15
+        )
+
+    def test_initial_state_size_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            FleetSimulation(num_servers=10, initial_state=OccupancyState.empty(9))
+
+    def test_occupancy_fractions_are_a_profile(self):
+        result = simulate_fleet(100, d=2, utilization=0.9, num_events=100_000, seed=2)
+        fractions = result.occupancy_fractions
+        assert fractions[0] == pytest.approx(1.0)
+        assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
+        # time-average of total jobs equals the sum over level tails
+        assert fractions[1:].sum() * result.mean_servers == pytest.approx(
+            result.mean_jobs_in_system, rel=1e-6
+        )
+
+
+class TestCrossValidation:
+    """The occupancy chain has the *same law* as the existing simulators."""
+
+    def test_agrees_with_gillespie_small_n(self):
+        reference = simulate_sqd_ctmc(5, 2, 0.8, num_events=400_000, seed=42)
+        fleet = simulate_fleet(5, d=2, utilization=0.8, num_events=400_000, seed=43)
+        assert fleet.mean_sojourn_time == pytest.approx(reference.mean_sojourn_time, rel=0.06)
+        assert fleet.mean_jobs_in_system == pytest.approx(reference.mean_jobs_in_system, rel=0.06)
+
+    def test_agrees_with_cluster_simulation_small_n(self):
+        workload = poisson_exponential_workload(num_servers=5, utilization=0.8)
+        cluster = ClusterSimulation(workload, PowerOfD(2), seed=7, warmup_jobs=5_000).run(60_000)
+        fleet = simulate_fleet(5, d=2, utilization=0.8, num_events=400_000, seed=44)
+        assert fleet.mean_sojourn_time == pytest.approx(cluster.mean_sojourn_time, rel=0.08)
+
+    def test_three_way_agreement(self):
+        """Occupancy fleet, per-server CTMC and per-job DES within tolerance."""
+        n, d, rho = 5, 2, 0.8
+        estimates = {
+            "fleet": simulate_fleet(n, d=d, utilization=rho, num_events=400_000, seed=1).mean_delay,
+            "gillespie": simulate_sqd_ctmc(n, d, rho, num_events=400_000, seed=2).mean_delay,
+            "cluster": ClusterSimulation(
+                poisson_exponential_workload(num_servers=n, utilization=rho),
+                PowerOfD(d),
+                seed=3,
+                warmup_jobs=5_000,
+            )
+            .run(60_000)
+            .mean_delay,
+        }
+        spread = max(estimates.values()) - min(estimates.values())
+        assert spread / min(estimates.values()) < 0.10, estimates
+
+    def test_random_policy_matches_mm1(self):
+        result = simulate_fleet(50, utilization=0.8, num_events=300_000, seed=5, policy="random")
+        assert result.mean_sojourn_time == pytest.approx(1.0 / (1.0 - 0.8), rel=0.08)
+
+    def test_jsq_beats_sqd_beats_random(self):
+        kwargs = dict(num_servers=100, utilization=0.9, num_events=200_000)
+        jsq = simulate_fleet(policy="jsq", seed=21, **kwargs).mean_delay
+        sq2 = simulate_fleet(d=2, policy="sqd", seed=21, **kwargs).mean_delay
+        rnd = simulate_fleet(policy="random", seed=21, **kwargs).mean_delay
+        assert jsq < sq2 < rnd
+
+
+class TestLargeN:
+    def test_large_n_matches_meanfield(self):
+        """At N = 10^5 the finite-N delay sits on the mean-field prediction."""
+        result = simulate_fleet(100_000, d=2, utilization=0.9, num_events=500_000, seed=6)
+        prediction = meanfield_delay(0.9, 2)
+        assert result.mean_delay == pytest.approx(prediction, rel=0.03)
+        assert result.mean_delay == pytest.approx(asymptotic_delay(0.9, 2), rel=0.03)
+
+    def test_event_cost_independent_of_n(self):
+        """The whole point: events/sec must not degrade with N."""
+        small = simulate_fleet(100, d=2, utilization=0.9, num_events=100_000, seed=8)
+        large = simulate_fleet(100_000, d=2, utilization=0.9, num_events=100_000, seed=8)
+        assert large.wall_seconds < 10 * small.wall_seconds
+
+
+class TestScenarios:
+    def test_flash_crowd_builds_and_drains(self):
+        scenario = get_scenario("flash-crowd", base_utilization=0.6, peak_utilization=1.5)
+        result = run_scenario(scenario, num_servers=1_000, d=2, seed=13)
+        by_label = dict(zip(result.labels, result.phases))
+        assert by_label["spike"].mean_queue_length > by_label["base"].mean_queue_length
+        assert result.total_events == sum(p.num_events for p in result.phases)
+        assert math.isfinite(result.overall_mean_delay)
+
+    def test_resize_only_drops_idle_servers(self):
+        scenario = get_scenario("resize", utilization=0.9, scale_down=0.1)
+        result = run_scenario(scenario, num_servers=500, d=2, seed=14)
+        scaled_down = dict(zip(result.labels, result.phases))["scaled down"]
+        # with rho=0.9 roughly 90% of servers are busy; shrinking to 10% clamps
+        assert scaled_down.num_servers > 50
+
+    def test_ramp_increases_delay(self):
+        scenario = get_scenario("ramp", start_utilization=0.3, end_utilization=0.95, steps=4)
+        result = run_scenario(scenario, num_servers=1_000, d=2, seed=15)
+        delays = [phase.mean_sojourn_time for phase in result.phases]
+        assert delays[-1] > delays[0]
+
+    def test_custom_scenario_and_table(self):
+        scenario = Scenario(
+            name="two-step",
+            description="half then busy",
+            phases=(
+                ScenarioPhase(duration=5.0, utilization=0.5, label="calm"),
+                ScenarioPhase(duration=5.0, utilization=0.9, label="busy"),
+            ),
+            warmup_time=2.0,
+        )
+        result = run_scenario(scenario, num_servers=200, d=2, seed=16)
+        table = result.as_table()
+        assert "calm" in table and "busy" in table
+        assert result.total_time == pytest.approx(10.0, rel=1e-6)

@@ -1,0 +1,87 @@
+"""Tests for the power-of-d mean-field ODE and its fixed point."""
+
+import pytest
+
+from repro.core.asymptotic import (
+    asymptotic_delay,
+    asymptotic_mean_queue_length,
+    asymptotic_queue_length_distribution,
+)
+from repro.fleet.meanfield import (
+    integrate_meanfield,
+    meanfield_delay,
+    meanfield_fixed_point,
+    meanfield_mean_queue_length,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestFixedPoint:
+    def test_matches_core_asymptotic_distribution(self):
+        """The ODE fixed point is the paper's asymptotic occupancy profile."""
+        for d in (1, 2, 5):
+            fixed_point = meanfield_fixed_point(0.85, d)
+            reference = asymptotic_queue_length_distribution(0.85, d, max_length=len(fixed_point) - 1)
+            for ours, theirs in zip(fixed_point, reference):
+                assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_delay_equals_eq16(self):
+        """Little's law on the fixed point reproduces Eq. (16) exactly."""
+        for d in (1, 2, 3, 10):
+            for rho in (0.3, 0.8, 0.95):
+                assert meanfield_delay(rho, d) == pytest.approx(asymptotic_delay(rho, d), rel=1e-10)
+
+    def test_mean_queue_length_matches_core(self):
+        assert meanfield_mean_queue_length(0.9, 2) == pytest.approx(
+            asymptotic_mean_queue_length(0.9, 2), rel=1e-10
+        )
+
+    def test_zero_load(self):
+        assert meanfield_fixed_point(0.0, 2) == [1.0]
+        assert meanfield_delay(0.0, 2) == 1.0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValidationError):
+            meanfield_fixed_point(1.0, 2)
+
+
+class TestIntegration:
+    def test_converges_to_fixed_point_from_empty(self):
+        trajectory = integrate_meanfield(0.8, 2, t_end=120.0, dt=0.02)
+        assert trajectory.final_mean_queue_length == pytest.approx(
+            meanfield_mean_queue_length(0.8, 2), abs=1e-6
+        )
+        assert trajectory.final_delay == pytest.approx(asymptotic_delay(0.8, 2), rel=1e-5)
+
+    def test_fixed_point_is_invariant(self):
+        start = meanfield_fixed_point(0.9, 2)
+        trajectory = integrate_meanfield(0.9, 2, t_end=5.0, dt=0.01, initial=start)
+        for t, value in zip(trajectory.times, trajectory.mean_queue_lengths):
+            assert value == pytest.approx(trajectory.mean_queue_lengths[0], abs=1e-8)
+
+    def test_monotone_fill_from_empty(self):
+        trajectory = integrate_meanfield(0.7, 2, t_end=10.0, dt=0.05)
+        values = trajectory.mean_queue_lengths
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[0] == 0.0
+
+    def test_overload_grows_queues(self):
+        """Transient overload (rho > 1) is allowed and queues keep growing."""
+        trajectory = integrate_meanfield(1.5, 2, t_end=5.0, dt=0.02, max_levels=32)
+        assert trajectory.final_mean_queue_length > 1.0
+
+    def test_store_states_records_profiles(self):
+        trajectory = integrate_meanfield(0.5, 2, t_end=1.0, dt=0.1, store_states=True)
+        assert trajectory.states is not None
+        assert len(trajectory.states) == len(trajectory.times)
+        for state in trajectory.states:
+            assert state[0] == 1.0
+            assert all(0.0 <= s <= 1.0 for s in state)
+
+    def test_d1_matches_mm1(self):
+        trajectory = integrate_meanfield(0.6, 1, t_end=200.0, dt=0.02)
+        assert trajectory.final_delay == pytest.approx(1.0 / (1.0 - 0.6), rel=1e-5)
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValidationError):
+            integrate_meanfield(0.5, 2, t_end=1.0, initial=[0.5, 0.2])

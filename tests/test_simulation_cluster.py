@@ -45,6 +45,22 @@ class TestBasicBehaviour:
         with pytest.raises(Exception):
             ClusterSimulation(workload, PowerOfD(2), seed=1).run(0)
 
+    def test_second_run_on_same_instance_rejected(self):
+        # State and statistics are not reset between runs; a silent second
+        # run would mix both runs' statistics.
+        workload = poisson_exponential_workload(num_servers=2, utilization=0.5)
+        simulation = ClusterSimulation(workload, PowerOfD(2), seed=1)
+        simulation.run(500)
+        with pytest.raises(RuntimeError, match="once per instance"):
+            simulation.run(500)
+
+    def test_failed_run_does_not_mark_instance_as_used(self):
+        workload = poisson_exponential_workload(num_servers=2, utilization=0.5)
+        simulation = ClusterSimulation(workload, PowerOfD(2), seed=1)
+        with pytest.raises(Exception):
+            simulation.run(0)  # validation fails before any state mutates
+        assert simulation.run(500).completed_jobs == 500
+
 
 class TestAgainstKnownResults:
     def test_random_dispatch_matches_mm1(self):

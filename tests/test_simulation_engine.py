@@ -70,6 +70,36 @@ class TestRunLimits:
         assert scheduler.now == pytest.approx(2.0)
         assert scheduler.pending_events == 1
 
+    def test_run_until_time_advances_clock_when_heap_drains(self):
+        """The clock must reach until_time even if every event fires earlier."""
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run(until_time=7.5)
+        assert scheduler.now == pytest.approx(7.5)
+        assert scheduler.pending_events == 0
+
+    def test_run_until_time_on_empty_heap(self):
+        scheduler = EventScheduler()
+        scheduler.run(until_time=3.0)
+        assert scheduler.now == pytest.approx(3.0)
+
+    def test_run_until_time_in_past_leaves_clock(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.run()
+        assert scheduler.now == pytest.approx(2.0)
+        scheduler.run(until_time=1.0)
+        assert scheduler.now == pytest.approx(2.0)
+
+    def test_max_events_takes_precedence_over_until_time_clamp(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(2.0, lambda: fired.append(2))
+        scheduler.run(until_time=10.0, max_events=1)
+        assert fired == [1]
+        assert scheduler.now == pytest.approx(1.0)
+
     def test_run_max_events(self):
         scheduler = EventScheduler()
         fired = []

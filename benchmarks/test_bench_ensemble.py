@@ -1,0 +1,107 @@
+"""Benchmark harness for the ensemble runner: parallel replication speedup.
+
+Replications are embarrassingly parallel — K independent simulations share no
+state — so the fan-out should scale near-linearly in worker count until the
+machine runs out of cores.  This harness times the same 8-replication fleet
+ensemble at increasing worker counts, reports the speedup table, and asserts
+a loose lower bound (>= 3x at 4 workers) *only when the machine actually has
+the cores*; on smaller runners it still verifies the parallel path returns
+bitwise-identical simulation records, which is the ensemble determinism
+contract.
+
+Run with::
+
+    pytest benchmarks/test_bench_ensemble.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import env_int
+
+from repro.ensemble.runner import run_ensemble
+from repro.utils.tables import format_table
+
+EVENTS = env_int("REPRO_BENCH_ENSEMBLE_EVENTS", 400_000)
+REPLICATIONS = env_int("REPRO_BENCH_ENSEMBLE_REPLICATIONS", 8)
+PARAMETERS = {"num_servers": 1_000, "d": 2, "utilization": 0.9, "num_events": EVENTS}
+SEED = 20160627
+
+
+def _time_ensemble(workers: int):
+    started = time.perf_counter()
+    result = run_ensemble(
+        "fleet", PARAMETERS, replications=REPLICATIONS, workers=workers, seed=SEED
+    )
+    return time.perf_counter() - started, result
+
+
+def _available_cores() -> int:
+    """Cores this process may actually use — os.cpu_count() overcounts in
+    cgroup-limited containers (it reports the host's cores)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_ensemble_speedup_in_workers(benchmark, report):
+    """Wall-clock must drop near-linearly in workers (where cores exist)."""
+    cores = _available_cores()
+    worker_counts = sorted({1, 2, 4} & set(range(1, cores + 1))) or [1]
+    if cores >= 4 and 4 not in worker_counts:
+        worker_counts.append(4)
+
+    def run_all():
+        return [(_time_ensemble(workers), workers) for workers in worker_counts]
+
+    timings = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    serial_seconds = timings[0][0][0]
+    rows = []
+    for (seconds, result), workers in timings:
+        rows.append(
+            [
+                workers,
+                f"{seconds:.2f}",
+                f"{serial_seconds / seconds:.2f}x",
+                f"{result.delay.mean:.4f} ± {result.delay.half_width:.4f}",
+            ]
+        )
+    table = format_table(
+        ["workers", "seconds", "speedup", "mean delay ± 95% CI"],
+        rows,
+        title=(
+            f"ensemble runner speedup: {REPLICATIONS} replications x {EVENTS} events, "
+            f"N={PARAMETERS['num_servers']}, rho={PARAMETERS['utilization']} "
+            f"({cores} cores available)"
+        ),
+    )
+    report("ensemble_speedup", table)
+
+    # Determinism across worker counts is asserted unconditionally.
+    records = [result.simulation_records() for (_, result), _ in timings]
+    assert all(chunk == records[0] for chunk in records[1:])
+
+    # The speedup bound only holds where the hardware exists: ISSUE 2's
+    # acceptance criterion (>= 3x at 4 workers) is asserted loosely and only
+    # on machines with >= 4 cores, so single-core CI boxes don't fail on
+    # physics they cannot change.
+    if cores >= 4:
+        four_worker_seconds = next(
+            seconds for (seconds, _), workers in timings if workers == 4
+        )
+        assert serial_seconds / four_worker_seconds >= 3.0, (
+            f"expected >= 3x speedup at 4 workers, got "
+            f"{serial_seconds / four_worker_seconds:.2f}x"
+        )
+    elif cores >= 2:
+        two_worker_seconds = next(
+            seconds for (seconds, _), workers in timings if workers == 2
+        )
+        assert serial_seconds / two_worker_seconds >= 1.3, (
+            f"expected >= 1.3x speedup at 2 workers, got "
+            f"{serial_seconds / two_worker_seconds:.2f}x"
+        )

@@ -14,8 +14,19 @@ Quickstart
 >>> result.lower_delay <= result.upper_delay  # doctest: +SKIP
 True
 
-See ``examples/`` for end-to-end scripts and ``benchmarks/`` for the
-harnesses regenerating the paper's figures.
+For estimates with error bars, replicate any simulation into an ensemble:
+
+>>> from repro import run_ensemble
+>>> ensemble = run_ensemble(
+...     "fleet", {"num_servers": 1000, "utilization": 0.9},
+...     replications=8, workers=4,
+... )  # doctest: +SKIP
+>>> print(ensemble.delay)  # doctest: +SKIP
+2.60326 ± 0.0577 (95% CI, 8 replications)
+
+See ``examples/`` for end-to-end scripts, ``docs/`` for the architecture
+and CLI references, and ``benchmarks/`` for the harnesses regenerating the
+paper's figures.
 """
 
 from repro.core import (
@@ -36,6 +47,16 @@ from repro.core import (
     solve_exact_truncated,
     solve_improved_lower_bound,
 )
+from repro.ensemble import (
+    EnsembleConfig,
+    EnsembleResult,
+    GridConfig,
+    GridResult,
+    ReplicationStatistics,
+    ResultStore,
+    run_ensemble,
+    run_grid,
+)
 from repro.fleet import (
     FleetResult,
     FleetSimulation,
@@ -52,7 +73,7 @@ from repro.policies import JoinShortestQueue, PowerOfD, UniformRandom
 from repro.simulation import ClusterSimulation, simulate_sqd_ctmc
 from repro.simulation.workloads import Workload, poisson_exponential_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SQDModel",
@@ -88,5 +109,13 @@ __all__ = [
     "meanfield_fixed_point",
     "meanfield_delay",
     "integrate_meanfield",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "run_ensemble",
+    "GridConfig",
+    "GridResult",
+    "run_grid",
+    "ReplicationStatistics",
+    "ResultStore",
     "__version__",
 ]

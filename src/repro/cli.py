@@ -7,18 +7,27 @@ Installed as the ``repro-lb`` console script; also runnable as
 * ``figure9``   — regenerate one panel of the paper's Figure 9,
 * ``figure10``  — regenerate one panel of the paper's Figure 10,
 * ``sweep``     — run a custom parameter sweep and export CSV/JSON,
-* ``fleet``     — occupancy-based large-N simulation vs the mean-field limit.
+* ``fleet``     — occupancy-based large-N simulation vs the mean-field limit,
+* ``ensemble``  — parallel replications of a fleet/scenario run with
+  confidence intervals and optional JSONL persistence.
+
+Every line of simulation output is a deterministic function of the seed;
+wall-clock diagnostics (events/s, elapsed seconds) are printed on separate
+lines prefixed ``wall-clock`` so scripted comparisons can filter them.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.core.analysis import analyze_sqd
 from repro.core.asymptotic import asymptotic_delay, relative_error_percent
+from repro.ensemble.results import ResultStore
+from repro.ensemble.runner import run_ensemble
 from repro.experiments.figure9 import Figure9Config, run_figure9
 from repro.experiments.figure10 import panel_config, run_figure10
 from repro.experiments.runner import SweepConfig, run_sweep
@@ -50,11 +59,17 @@ def _build_parser() -> argparse.ArgumentParser:
     figure9.add_argument("--choices", type=int, nargs="+", default=[2, 5, 10, 25, 50])
     figure9.add_argument("--servers", type=int, nargs="+", default=[10, 25, 50, 100, 175, 250])
     figure9.add_argument("--events", type=int, default=120_000, help="simulated events per point")
+    figure9.add_argument("--replications", type=int, default=1,
+                         help="independent replications per point (>= 2 adds CI half-widths)")
+    figure9.add_argument("--workers", type=int, default=1, help="worker processes for the replications")
 
     figure10 = subparsers.add_parser("figure10", help="average delay vs utilization for SQ(2)")
     figure10.add_argument("--panel", choices=["a", "b", "c", "d"], default="a", help="paper panel: a=(3,2) b=(3,3) c=(6,3) d=(12,3)")
     figure10.add_argument("--events", type=int, default=120_000, help="simulated events per point")
     figure10.add_argument("--no-simulation", action="store_true", help="skip the simulation curve")
+    figure10.add_argument("--replications", type=int, default=1,
+                          help="independent replications per point (>= 2 adds CI half-widths)")
+    figure10.add_argument("--workers", type=int, default=1, help="worker processes for the replications")
 
     sweep = subparsers.add_parser("sweep", help="custom (N, d, rho, T) sweep with CSV/JSON export")
     sweep.add_argument("--servers", type=int, nargs="+", default=[3, 6])
@@ -79,6 +94,30 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--cold-start", action="store_true",
                        help="start from an empty cluster instead of the mean-field profile")
     fleet.add_argument("--seed", type=int, default=12345, help="simulation seed for reproducible runs")
+
+    ensemble = subparsers.add_parser(
+        "ensemble",
+        help="parallel replications of a fleet or scenario run, with confidence intervals",
+    )
+    ensemble.add_argument("--servers", "-N", type=int, required=True, help="number of servers N")
+    ensemble.add_argument("--choices", "-d", type=int, default=2, help="number of polled servers d")
+    ensemble.add_argument("--utilization", "-u", type=float, default=None,
+                          help="per-server load rho (required unless --scenario is given)")
+    ensemble.add_argument("--policy", choices=["sqd", "jsq", "random"], default="sqd", help="dispatching policy")
+    ensemble.add_argument("--events", type=int, default=None,
+                          help="simulated events per replication (default scales with N)")
+    ensemble.add_argument("--scenario", choices=available_scenarios(), default=None,
+                          help="replicate a time-varying scenario instead of a stationary run")
+    ensemble.add_argument("--replications", "-K", type=int, default=8, help="independent replications")
+    ensemble.add_argument("--workers", "-w", type=int, default=1, help="worker processes")
+    ensemble.add_argument("--seed", type=int, default=12345, help="ensemble seed (replication seeds are derived)")
+    ensemble.add_argument("--confidence", type=float, default=0.95, help="two-sided CI level")
+    ensemble.add_argument("--target-precision", type=float, default=None,
+                          help="relative CI half-width to stop at (adds replications adaptively)")
+    ensemble.add_argument("--max-replications", type=int, default=64,
+                          help="replication cap for --target-precision")
+    ensemble.add_argument("--jsonl", type=str, default=None,
+                          help="append every replication record to this JSONL store")
 
     return parser
 
@@ -119,13 +158,20 @@ def _command_figure9(args: argparse.Namespace) -> int:
         choices=tuple(args.choices),
         server_counts=tuple(args.servers),
         num_events=args.events,
+        replications=args.replications,
+        workers=args.workers,
     )
     print(run_figure9(config).as_table())
     return 0
 
 
 def _command_figure10(args: argparse.Namespace) -> int:
-    config = panel_config(args.panel, simulation_events=args.events)
+    config = panel_config(
+        args.panel,
+        simulation_events=args.events,
+        replications=args.replications,
+        workers=args.workers,
+    )
     if args.no_simulation:
         config = replace(config, run_simulation=False)
     print(run_figure10(config).as_table())
@@ -208,14 +254,91 @@ def _command_fleet(args: argparse.Namespace) -> int:
         asymptote = asymptotic_delay(args.utilization, args.choices)
         rows.append(["asymptotic (Eq. 16)", asymptote])
         rows.append(["relative error vs asymptotic (%)", relative_error_percent(result.mean_delay, asymptote)])
+    # Wall-clock throughput is deliberately NOT part of the table: everything
+    # above the "wall-clock" line must be bitwise identical across runs with
+    # the same --seed (see tests/test_determinism.py).
     title = (
         f"fleet: {args.policy} with N={args.servers}, d={result.d}, rho={args.utilization} — "
-        f"{result.num_events} events at {result.events_per_second:,.0f} events/s"
+        f"{result.num_events} events"
     )
     print(format_table(["method", "mean delay"], rows, title=title))
     print(
         f"mean queue length {result.mean_queue_length:.4f} jobs/server over "
         f"{result.simulated_time:.2f} simulated time units"
+    )
+    print(f"wall-clock: {result.wall_seconds:.2f}s ({result.events_per_second:,.0f} events/s)")
+    return 0
+
+
+def _command_ensemble(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        ignored = [
+            name
+            for name, given in [
+                ("--utilization", args.utilization is not None),
+                ("--events", args.events is not None),
+            ]
+            if given
+        ]
+        if ignored:
+            raise SystemExit(
+                f"repro-lb ensemble: {', '.join(ignored)} cannot be combined with --scenario "
+                "(the scenario defines its own load and duration)"
+            )
+        kind = "scenario"
+        parameters = {
+            "scenario": args.scenario,
+            "num_servers": args.servers,
+            "d": args.choices,
+            "policy": args.policy,
+        }
+    else:
+        if args.utilization is None:
+            raise SystemExit("repro-lb ensemble: --utilization is required for stationary runs")
+        kind = "fleet"
+        parameters = {
+            "num_servers": args.servers,
+            "d": args.choices,
+            "utilization": args.utilization,
+            "num_events": args.events if args.events is not None else max(400_000, 10 * args.servers),
+            "policy": args.policy,
+        }
+
+    result = run_ensemble(
+        kind,
+        parameters,
+        replications=args.replications,
+        workers=args.workers,
+        seed=args.seed,
+        confidence=args.confidence,
+        target_relative_half_width=args.target_precision,
+        max_replications=args.max_replications,
+    )
+    print(result.as_table())
+    delay = result.delay
+    print(f"mean delay {delay}")
+    if kind == "fleet" and args.policy in ("sqd", "random"):
+        d = 1 if args.policy == "random" else args.choices
+        limit = meanfield_delay(args.utilization, d)
+        low, high = delay.confidence_interval()
+        if math.isfinite(low) and math.isfinite(high):
+            verdict = "inside" if low <= limit <= high else "outside"
+            print(
+                f"mean-field limit {limit:.6g} — {verdict} the {delay.confidence:.0%} CI "
+                f"[{low:.6g}, {high:.6g}]"
+            )
+        else:
+            print(
+                f"mean-field limit {limit:.6g} — no CI with a single replication "
+                "(use --replications 2 or more)"
+            )
+    if args.jsonl:
+        store = ResultStore(args.jsonl)
+        written = store.append_ensemble(result)
+        print(f"wrote {written} replication records to {store.path}")
+    print(
+        f"wall-clock: {result.wall_seconds:.2f}s for {result.replications} replications "
+        f"on {args.workers} worker(s)"
     )
     return 0
 
@@ -230,6 +353,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure10": _command_figure10,
         "sweep": _command_sweep,
         "fleet": _command_fleet,
+        "ensemble": _command_ensemble,
     }
     return handlers[args.command](args)
 

@@ -90,22 +90,40 @@ def analyze_sqd(
 
     Parameters
     ----------
-    num_servers, d, utilization, service_rate:
-        The SQ(d) model of Section II.
-    threshold:
-        The imbalance threshold ``T`` of the bound models.  Larger ``T`` gives
-        tighter (especially upper) bounds at an exponentially growing block
-        size ``C(N+T-1, T)``.
-    lower_bound_method:
+    num_servers : int
+        Pool size ``N`` of the SQ(d) model of Section II.
+    d : int
+        Number of servers polled per arrival (``1 <= d <= N``).
+    utilization : float
+        Per-server traffic intensity ``rho = lambda / mu`` (dimensionless,
+        strictly below 1) — *not* the raw arrival rate; the total arrival
+        rate is ``rho * mu * N``.
+    threshold : int
+        The imbalance threshold ``T`` of the bound models.  Larger ``T``
+        gives tighter (especially upper) bounds at an exponentially growing
+        block size ``C(N+T-1, T)``.
+    service_rate : float
+        Per-server service rate ``mu`` in jobs per time unit; all reported
+        delays are in units of ``1/mu`` (mean service times).
+    lower_bound_method : SolutionMethod or str
         ``SCALAR_GEOMETRIC`` (Theorem 3, default) or ``MATRIX_GEOMETRIC``
         (Theorem 1); both agree to numerical precision.
-    compute_upper_bound:
-        Solve the upper bound model too (skipped automatically when its drift
-        condition fails; ``upper_bound`` is then ``None``).
-    run_simulation:
-        Also estimate the delay by simulating the queue-length CTMC.
-    compute_exact:
-        Also solve the buffer-truncated original chain (small ``N`` only).
+    compute_upper_bound : bool
+        Solve the upper bound model too (skipped automatically when its
+        drift condition fails; ``upper_bound`` is then ``None``).
+    run_simulation : bool
+        Also estimate the delay by simulating the queue-length CTMC for
+        ``simulation_events`` events with ``simulation_seed``.
+    compute_exact : bool
+        Also solve the buffer-truncated original chain (small ``N`` only),
+        with ``exact_buffer`` jobs of head-room per server.
+
+    Returns
+    -------
+    DelayAnalysis
+        Lower/upper bound solutions, the asymptotic delay of Eq. (16), and
+        the optional simulation / exact estimates — every delay a mean
+        sojourn time in units of ``1/mu``.
     """
     check_integer("threshold", threshold, minimum=1)
     model = SQDModel(num_servers=num_servers, d=d, utilization=utilization, service_rate=service_rate)

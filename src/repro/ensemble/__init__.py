@@ -1,0 +1,56 @@
+"""Parallel multi-replication experiment orchestration with CI statistics.
+
+PR 1's occupancy engine made a *single* fleet-scale run cheap; this package
+makes runs *trustworthy and parallel*.  Every experiment becomes an
+*ensemble* — ``K`` independent replications fanned out over worker processes
+— and every reported number carries a Student-t confidence interval, which
+is what makes finite-``N`` vs mean-field comparisons meaningful (the limit
+curve either sits inside the interval or it does not):
+
+* :mod:`repro.ensemble.runner` — the ``multiprocessing`` fan-out with
+  per-replication seed derivation and a relative-precision stopping rule,
+* :mod:`repro.ensemble.stats` — dependency-light replication statistics
+  (mean, variance, Student-t intervals via the incomplete beta function),
+* :mod:`repro.ensemble.grid` — cartesian ``(N, d, rho, scenario)`` sweeps
+  scheduled across one shared pool,
+* :mod:`repro.ensemble.results` — an append-only JSONL store persisting
+  every replication with its config, seeds and git provenance.
+
+Determinism contract: given the same seed and replication count, results are
+bitwise identical regardless of worker count, task scheduling, or whether a
+pool is used at all.
+"""
+
+from repro.ensemble.grid import GridConfig, GridPoint, GridResult, run_grid
+from repro.ensemble.results import ResultStore, git_describe, provenance, read_jsonl
+from repro.ensemble.runner import (
+    SIMULATION_KINDS,
+    EnsembleConfig,
+    EnsembleResult,
+    run_ensemble,
+)
+from repro.ensemble.stats import (
+    ReplicationStatistics,
+    student_t_cdf,
+    student_t_quantile,
+    summarize,
+)
+
+__all__ = [
+    "SIMULATION_KINDS",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "run_ensemble",
+    "GridConfig",
+    "GridPoint",
+    "GridResult",
+    "run_grid",
+    "ReplicationStatistics",
+    "student_t_cdf",
+    "student_t_quantile",
+    "summarize",
+    "ResultStore",
+    "read_jsonl",
+    "provenance",
+    "git_describe",
+]

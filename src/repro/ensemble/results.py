@@ -1,0 +1,163 @@
+"""JSONL persistence for ensemble runs: every replication, with provenance.
+
+Figures should be re-plottable without re-simulating.  To that end each
+replication is appended to a JSON-Lines file as a self-contained record: the
+full simulator configuration, the ensemble seed *and* the replication's own
+derived seed, every scalar metric, and provenance (package version, git
+describe of the working tree, timestamp, python version).  JSONL — one JSON
+object per line — makes the store append-only (two processes can interleave
+whole lines), diff-friendly, and streamable: a million-record store never
+needs to be parsed whole.
+
+No third-party dependency: :mod:`json` for the records, :mod:`subprocess`
+for ``git describe`` (silently degraded to ``None`` outside a git checkout).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.ensemble.runner import EnsembleResult
+
+__all__ = ["ResultStore", "git_describe", "provenance", "read_jsonl"]
+
+
+def git_describe(path: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """``git describe --always --dirty`` of the tree containing ``path``.
+
+    Returns ``None`` when git is unavailable or the path is not inside a
+    repository — provenance is best-effort, never a hard dependency.
+    """
+    directory = Path(path).resolve() if path is not None else Path(__file__).resolve()
+    if directory.is_file():
+        directory = directory.parent
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=directory,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def provenance() -> Dict[str, Any]:
+    """Re-run metadata attached to every stored record."""
+    from repro import __version__
+
+    return {
+        "package_version": __version__,
+        "git": git_describe(),
+        "python": sys.version.split()[0],
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL file (blank lines are skipped)."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+@dataclass
+class ResultStore:
+    """Append-only JSONL store for replication records.
+
+    Parameters
+    ----------
+    path : str or Path
+        Store location; the parent directory is created on first append.
+
+    Examples
+    --------
+    >>> store = ResultStore("/tmp/doctest-ensemble.jsonl")  # doctest: +SKIP
+    >>> store.append_ensemble(result)                       # doctest: +SKIP
+    >>> len(store.load())                                   # doctest: +SKIP
+    8
+    """
+
+    path: Path
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record as a single JSON line (flushed immediately)."""
+        self.extend([record])
+
+    def extend(self, records) -> None:
+        """Append many records in one open/flush/close cycle.
+
+        Each record is still written as one whole line, preserving the
+        interleaving-safety of line-wise appends.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True, default=_json_default))
+                handle.write("\n")
+            handle.flush()
+
+    def append_ensemble(
+        self, result: EnsembleResult, labels: Optional[Dict[str, Any]] = None
+    ) -> int:
+        """Persist every replication of an ensemble; returns the line count.
+
+        Each line carries the replication record itself plus the ensemble
+        configuration (kind, simulator parameters, ensemble seed,
+        confidence) and shared provenance, so any single line is enough to
+        reproduce its replication exactly.
+        """
+        config = result.config
+        shared = {
+            "kind": config.kind,
+            "parameters": dict(config.parameters),
+            "ensemble_seed": config.seed,
+            "confidence": config.confidence,
+            "provenance": provenance(),
+        }
+        if labels:
+            shared["labels"] = dict(labels)
+        lines = []
+        for record in result.records:
+            line = dict(shared)
+            line.update(record)
+            lines.append(line)
+        self.extend(lines)
+        return len(result.records)
+
+    def load(self) -> List[Dict[str, Any]]:
+        """All records currently in the store (empty list if absent)."""
+        if not self.path.exists():
+            return []
+        return read_jsonl(self.path)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.load())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+def _json_default(value):
+    """Serialize numpy scalars and other floats-in-disguise."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)

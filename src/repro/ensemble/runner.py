@@ -1,0 +1,426 @@
+"""Parallel multi-replication runner for every simulator in the package.
+
+One *ensemble* is ``K`` statistically independent replications of the same
+simulation configuration, fanned out over a pool of worker processes and
+summarized by across-replication Student-t confidence intervals
+(:mod:`repro.ensemble.stats`).  The runner is what turns a single stochastic
+point estimate ("the mean delay came out as 2.31") into a defensible one
+("2.31 ± 0.04 at 95% confidence over 8 replications") — the form in which a
+finite-``N`` estimate can be compared against the paper's bounds and the
+mean-field limit.
+
+Determinism is a hard contract here, not a convenience:
+
+* replication ``i`` always simulates with the ``i``-th child seed of the
+  ensemble seed (:func:`repro.utils.seeding.spawn_seeds`), independently of
+  which worker runs it, in which order tasks complete, or how many workers
+  exist — ``workers=8`` and ``workers=1`` produce bitwise-identical records;
+* the adaptive stopping rule extends the ensemble in fixed-size batches, so
+  even precision-targeted runs are reproducible across machines with
+  different core counts.
+
+Worker processes execute a module-level function (picklable under every
+``multiprocessing`` start method) and receive only plain data — the
+configuration mapping and an integer seed — never live simulator objects.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ensemble.stats import ReplicationStatistics
+from repro.utils.seeding import spawn_seeds
+from repro.utils.tables import format_table
+from repro.utils.validation import ValidationError, check_integer, check_positive
+
+__all__ = [
+    "SIMULATION_KINDS",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "run_ensemble",
+    "worker_pool",
+]
+
+#: Default number of replications added per adaptive extension round.  Fixed
+#: (instead of "one batch per worker") so the stopping rule's trajectory does
+#: not depend on the machine's core count.
+DEFAULT_BATCH_SIZE = 4
+
+
+# --------------------------------------------------------------------- #
+# Worker side: one replication = (kind, parameters, seed) -> metrics dict
+# --------------------------------------------------------------------- #
+def _replicate_fleet(parameters: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    from repro.fleet.engine import simulate_fleet
+
+    result = simulate_fleet(seed=seed, **parameters)
+    return {
+        "mean_delay": result.mean_sojourn_time,
+        "mean_waiting_time": result.mean_waiting_time,
+        "mean_queue_length": result.mean_queue_length,
+        "mean_jobs_in_system": result.mean_jobs_in_system,
+        "simulated_time": result.simulated_time,
+        "num_events": float(result.num_events),
+        "events_per_second": result.events_per_second,
+    }
+
+
+def _replicate_gillespie(parameters: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    from repro.simulation.gillespie import simulate_sqd_ctmc
+
+    result = simulate_sqd_ctmc(seed=seed, **parameters)
+    return {
+        "mean_delay": result.mean_sojourn_time,
+        "mean_waiting_time": result.mean_waiting_time,
+        "mean_jobs_in_system": result.mean_jobs_in_system,
+        "mean_queue_imbalance": result.mean_queue_imbalance,
+        "simulated_time": result.simulated_time,
+        "num_events": float(result.num_events),
+    }
+
+
+def _replicate_cluster(parameters: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    from repro.policies.sqd import PowerOfD
+    from repro.simulation.cluster import ClusterSimulation
+    from repro.simulation.workloads import poisson_exponential_workload
+
+    parameters = dict(parameters)
+    num_jobs = int(parameters.pop("num_jobs", 50_000))
+    warmup_jobs = int(parameters.pop("warmup_jobs", num_jobs // 10))
+    d = int(parameters.pop("d", 2))
+    workload = poisson_exponential_workload(**parameters)
+    simulation = ClusterSimulation(workload, PowerOfD(d), seed=seed, warmup_jobs=warmup_jobs)
+    result = simulation.run(num_jobs)
+    return {
+        "mean_delay": result.mean_sojourn_time,
+        "mean_waiting_time": result.mean_waiting_time,
+        "simulated_time": result.simulated_time,
+        "completed_jobs": float(result.completed_jobs),
+    }
+
+
+def _replicate_scenario(parameters: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    from repro.fleet.engine import run_scenario
+    from repro.fleet.scenarios import get_scenario
+
+    parameters = dict(parameters)
+    name = parameters.pop("scenario")
+    scenario_parameters = parameters.pop("scenario_parameters", {})
+    scenario = get_scenario(name, **scenario_parameters)
+    result = run_scenario(scenario, seed=seed, **parameters)
+    return {
+        "mean_delay": result.overall_mean_delay,
+        "simulated_time": result.total_time,
+        "num_events": float(result.total_events),
+    }
+
+
+_KIND_RUNNERS = {
+    "fleet": _replicate_fleet,
+    "gillespie": _replicate_gillespie,
+    "cluster": _replicate_cluster,
+    "scenario": _replicate_scenario,
+}
+
+#: The simulation back-ends an ensemble can replicate.
+SIMULATION_KINDS: Tuple[str, ...] = tuple(sorted(_KIND_RUNNERS))
+
+
+def _execute_replication(task: Tuple[str, Dict[str, Any], int, int]) -> Dict[str, Any]:
+    """Run one replication in a worker process; returns a plain record dict."""
+    kind, parameters, seed, index = task
+    started = time.perf_counter()
+    metrics = _KIND_RUNNERS[kind](parameters, seed)
+    record: Dict[str, Any] = {"replication": index, "seed": seed}
+    record.update(metrics)
+    record["wall_seconds"] = time.perf_counter() - started
+    return record
+
+
+# --------------------------------------------------------------------- #
+# Driver side
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """One ensemble: a simulation configuration plus replication policy.
+
+    Parameters
+    ----------
+    kind : str
+        Which simulator to replicate: ``"fleet"`` (occupancy engine,
+        :func:`repro.fleet.engine.simulate_fleet`), ``"gillespie"``
+        (per-server CTMC), ``"cluster"`` (per-job DES) or ``"scenario"``
+        (time-varying playback through the occupancy engine).
+    parameters : mapping
+        Keyword arguments forwarded to the simulator, *without* ``seed`` —
+        seeds are derived per replication.  For ``kind="scenario"`` the
+        mapping must contain ``scenario`` (a registered scenario name) and
+        may carry ``scenario_parameters`` for the builder.
+    replications : int
+        Number of replications to run (the *initial* batch when
+        ``target_relative_half_width`` is set).
+    workers : int
+        Worker processes.  ``1`` runs inline in the calling process (no
+        pool); results are identical either way.
+    seed : int or None
+        Ensemble seed; replication ``i`` uses the ``i``-th derived child
+        seed.  ``None`` gives a non-reproducible ensemble.
+    confidence : float
+        Two-sided confidence level of the reported intervals.
+    target_relative_half_width : float or None
+        If set, keep adding ``batch_size``-replication rounds until the CI
+        half-width of ``mean_delay`` falls below this fraction of the mean
+        (or ``max_replications`` is reached) — runs then terminate at a
+        target *precision* instead of a fixed replication count.
+    max_replications : int
+        Hard cap for the adaptive mode.
+    batch_size : int
+        Replications added per adaptive round; fixed by default so the
+        stopping trajectory is machine-independent.
+    """
+
+    kind: str
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+    replications: int = 8
+    workers: int = 1
+    seed: Optional[int] = 12345
+    confidence: float = 0.95
+    target_relative_half_width: Optional[float] = None
+    max_replications: int = 64
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_RUNNERS:
+            raise ValidationError(
+                f"kind must be one of {SIMULATION_KINDS}, got {self.kind!r}"
+            )
+        check_integer("replications", self.replications, minimum=1)
+        check_integer("workers", self.workers, minimum=1)
+        check_integer("batch_size", self.batch_size, minimum=1)
+        if not (0.0 < self.confidence < 1.0):
+            raise ValidationError(f"confidence must be in (0, 1), got {self.confidence!r}")
+        if self.target_relative_half_width is not None:
+            check_positive("target_relative_half_width", self.target_relative_half_width)
+            # The cap only matters in adaptive mode; a plain fixed-count run
+            # may ask for any number of replications.
+            check_integer("max_replications", self.max_replications, minimum=self.replications)
+        else:
+            check_integer("max_replications", self.max_replications, minimum=1)
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """All replication records of one ensemble, plus CI summaries.
+
+    Attributes
+    ----------
+    config : EnsembleConfig
+        The configuration that produced the records.
+    records : tuple of dict
+        One plain record per replication, ordered by replication index.
+        Each carries the replication index, its derived seed, every scalar
+        metric the simulator reports (delays in units of ``1/mu``) and the
+        per-replication wall-clock time in seconds.
+    wall_seconds : float
+        Wall-clock time of the whole ensemble (including pool start-up).
+    """
+
+    config: EnsembleConfig
+    records: Tuple[Dict[str, Any], ...]
+    wall_seconds: float = float("nan")
+
+    @property
+    def replications(self) -> int:
+        """Number of replications actually executed."""
+        return len(self.records)
+
+    #: Record keys derived from wall-clock time rather than the simulation;
+    #: everything else is a deterministic function of the configuration.
+    TIMING_KEYS = ("wall_seconds", "events_per_second")
+
+    def metric_names(self) -> List[str]:
+        """The scalar metrics shared by every record."""
+        reserved = {"replication", "seed"}
+        return [key for key in self.records[0] if key not in reserved]
+
+    def simulation_records(self) -> List[Dict[str, Any]]:
+        """Records with wall-clock keys stripped — the bitwise-reproducible
+        part, which the determinism regression tests compare across runs,
+        processes and worker counts."""
+        return [
+            {key: value for key, value in record.items() if key not in self.TIMING_KEYS}
+            for record in self.records
+        ]
+
+    def samples(self, metric: str = "mean_delay") -> List[float]:
+        """Per-replication values of one metric, in replication order."""
+        if metric not in self.records[0]:
+            raise ValidationError(
+                f"unknown metric {metric!r}; available: {', '.join(self.metric_names())}"
+            )
+        return [float(record[metric]) for record in self.records]
+
+    def statistics(self, metric: str = "mean_delay") -> ReplicationStatistics:
+        """Across-replication statistics of one metric."""
+        return ReplicationStatistics.from_samples(
+            self.samples(metric), confidence=self.config.confidence
+        )
+
+    @property
+    def delay(self) -> ReplicationStatistics:
+        """Statistics of the headline metric, the mean sojourn time."""
+        return self.statistics("mean_delay")
+
+    def as_table(self) -> str:
+        """Render metric summaries (mean, CI, extremes) as a text table."""
+        headers = ["metric", "mean", f"±{self.config.confidence:.0%} CI", "std", "min", "max"]
+        rows = []
+        for metric in self.metric_names():
+            if metric in self.TIMING_KEYS:
+                continue  # wall-clock noise, not a simulation output
+            statistics = self.statistics(metric)
+            rows.append(
+                [
+                    metric,
+                    statistics.mean,
+                    statistics.half_width,
+                    statistics.std,
+                    min(statistics.samples),
+                    max(statistics.samples),
+                ]
+            )
+        config = self.config
+        title = (
+            f"ensemble: {config.kind} x {self.replications} replications "
+            f"(seed {config.seed})"
+        )
+        return format_table(headers, rows, title=title)
+
+
+@contextlib.contextmanager
+def worker_pool(workers: int):
+    """Yield one shared ``multiprocessing.Pool`` (or ``None`` for one worker).
+
+    Sweeps that call :func:`run_ensemble` once per grid point should open
+    the pool here and pass it down, so pool start-up/tear-down is paid once
+    per sweep instead of once per point.
+    """
+    check_integer("workers", workers, minimum=1)
+    if workers == 1:
+        yield None
+        return
+    pool = multiprocessing.Pool(processes=workers)
+    try:
+        yield pool
+    finally:
+        pool.close()
+        pool.join()
+
+
+def _run_batch(
+    config: EnsembleConfig, start: int, count: int, pool
+) -> List[Dict[str, Any]]:
+    """Execute replications ``start .. start + count - 1`` (ordered)."""
+    seeds = spawn_seeds(config.seed, count, start=start)
+    tasks = [
+        (config.kind, dict(config.parameters), seed, start + offset)
+        for offset, seed in enumerate(seeds)
+    ]
+    if pool is None:
+        return [_execute_replication(task) for task in tasks]
+    return list(pool.map(_execute_replication, tasks))
+
+
+def run_ensemble(
+    kind: str = "fleet",
+    parameters: Optional[Mapping[str, Any]] = None,
+    replications: int = 8,
+    workers: int = 1,
+    seed: Optional[int] = 12345,
+    confidence: float = 0.95,
+    target_relative_half_width: Optional[float] = None,
+    max_replications: int = 64,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    config: Optional[EnsembleConfig] = None,
+    pool=None,
+) -> EnsembleResult:
+    """Run ``K`` independent replications of one simulation, in parallel.
+
+    Parameters
+    ----------
+    kind, parameters, replications, workers, seed, confidence, \
+target_relative_half_width, max_replications, batch_size :
+        See :class:`EnsembleConfig`.  Ignored when ``config`` is given.
+    config : EnsembleConfig, optional
+        A pre-built configuration (used by the grid engine so one pool can
+        be shared across many ensembles).
+    pool : multiprocessing.Pool, optional
+        An externally managed worker pool to schedule on.  The caller keeps
+        ownership (it is not closed here); ``workers`` is then only
+        recorded, not acted on.  This lets a sweep over many ensembles —
+        the figure harnesses, the scale study — pay pool start-up once
+        instead of once per point.
+
+    Returns
+    -------
+    EnsembleResult
+        Ordered replication records plus CI statistics per metric.
+
+    Notes
+    -----
+    The result is a deterministic function of ``(kind, parameters,
+    replications, seed, confidence, target_relative_half_width, batch_size)``
+    alone — the worker count only changes wall-clock time.
+
+    Examples
+    --------
+    >>> result = run_ensemble(
+    ...     "fleet",
+    ...     {"num_servers": 200, "utilization": 0.8, "num_events": 20_000},
+    ...     replications=4,
+    ...     seed=7,
+    ... )
+    >>> result.replications
+    4
+    """
+    if config is None:
+        config = EnsembleConfig(
+            kind=kind,
+            parameters=dict(parameters or {}),
+            replications=replications,
+            workers=workers,
+            seed=seed,
+            confidence=confidence,
+            target_relative_half_width=target_relative_half_width,
+            max_replications=max_replications,
+            batch_size=batch_size,
+        )
+    started = time.perf_counter()
+    owned_pool = None
+    try:
+        if pool is None and config.workers > 1:
+            pool = owned_pool = multiprocessing.Pool(processes=config.workers)
+        records = _run_batch(config, 0, config.replications, pool)
+        if config.target_relative_half_width is not None:
+            while len(records) < config.max_replications:
+                statistics = ReplicationStatistics.from_samples(
+                    [record["mean_delay"] for record in records],
+                    confidence=config.confidence,
+                )
+                if statistics.precision_reached(config.target_relative_half_width):
+                    break
+                count = min(config.batch_size, config.max_replications - len(records))
+                records.extend(_run_batch(config, len(records), count, pool))
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
+            owned_pool.join()
+    return EnsembleResult(
+        config=config,
+        records=tuple(records),
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -19,11 +19,12 @@ Section V.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import analyze_sqd
 from repro.core.qbd_solver import SolutionMethod
+from repro.ensemble.runner import run_ensemble, worker_pool
 from repro.utils.tables import format_series
 from repro.utils.validation import check_integer
 
@@ -32,7 +33,24 @@ DEFAULT_UTILIZATIONS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.
 
 @dataclass(frozen=True)
 class Figure10Config:
-    """Parameters of one Figure 10 panel."""
+    """Parameters of one Figure 10 panel.
+
+    Parameters
+    ----------
+    num_servers, threshold, d :
+        Panel shape: pool size ``N``, bound threshold ``T``, poll count ``d``.
+    utilizations : sequence of float
+        The swept per-server loads ``rho = lambda / mu`` (dimensionless).
+    simulation_events : int
+        Simulated events per replication.
+    replications : int
+        Independent simulation replications per utilization (>= 2 adds
+        confidence half-widths to the simulation curve).
+    workers : int
+        Worker processes the replications fan out over.
+    confidence : float
+        Two-sided confidence level of the reported half-widths.
+    """
 
     num_servers: int
     threshold: int
@@ -42,16 +60,25 @@ class Figure10Config:
     seed: int = 20160627
     run_simulation: bool = True
     lower_bound_method: SolutionMethod = SolutionMethod.SCALAR_GEOMETRIC
+    replications: int = 1
+    workers: int = 1
+    confidence: float = 0.95
 
     def __post_init__(self) -> None:
         check_integer("num_servers", self.num_servers, minimum=2)
         check_integer("threshold", self.threshold, minimum=1)
         check_integer("d", self.d, minimum=1, maximum=self.num_servers)
+        check_integer("replications", self.replications, minimum=1)
+        check_integer("workers", self.workers, minimum=1)
 
 
 @dataclass(frozen=True)
 class Figure10Result:
-    """The four delay curves of one panel."""
+    """The four delay curves of one panel (delays in units of ``1/mu``).
+
+    ``simulation_half_width`` carries the per-utilization confidence
+    half-width of the simulation curve (``nan`` with one replication).
+    """
 
     config: Figure10Config
     utilizations: List[float]
@@ -59,14 +86,18 @@ class Figure10Result:
     upper_bound: List[float]
     simulation: List[float]
     asymptotic: List[float]
+    simulation_half_width: List[float] = field(default_factory=list)
 
     def series(self) -> Dict[str, List[float]]:
-        return {
+        columns = {
             "upper": self.upper_bound,
             "simulation": self.simulation,
             "lower": self.lower_bound,
             "asymptotic": self.asymptotic,
         }
+        if self.config.replications >= 2 and self.config.run_simulation:
+            columns["sim ±CI"] = self.simulation_half_width
+        return columns
 
     def as_table(self) -> str:
         config = self.config
@@ -93,29 +124,55 @@ class Figure10Result:
 
 
 def run_figure10(config: Figure10Config) -> Figure10Result:
-    """Run the utilization sweep for one panel of Figure 10."""
+    """Run the utilization sweep for one panel of Figure 10.
+
+    Bounds and asymptotics come from :func:`analyze_sqd`; the simulation
+    curve routes through the ensemble runner, so each point is the mean of
+    ``config.replications`` independent CTMC simulations with a Student-t
+    confidence half-width alongside.
+    """
     lower: List[float] = []
     upper: List[float] = []
     simulated: List[float] = []
+    half_widths: List[float] = []
     asymptotic: List[float] = []
     utilizations = [float(u) for u in config.utilizations]
 
-    for index, utilization in enumerate(utilizations):
-        analysis = analyze_sqd(
-            num_servers=config.num_servers,
-            d=config.d,
-            utilization=utilization,
-            threshold=config.threshold,
-            lower_bound_method=config.lower_bound_method,
-            compute_upper_bound=True,
-            run_simulation=config.run_simulation,
-            simulation_events=config.simulation_events,
-            simulation_seed=config.seed + index,
-        )
-        lower.append(analysis.lower_delay)
-        upper.append(analysis.upper_delay if analysis.upper_delay is not None else math.inf)
-        simulated.append(analysis.simulated_delay if analysis.simulated_delay is not None else math.nan)
-        asymptotic.append(analysis.asymptotic_delay)
+    with worker_pool(config.workers if config.run_simulation else 1) as pool:
+        for index, utilization in enumerate(utilizations):
+            analysis = analyze_sqd(
+                num_servers=config.num_servers,
+                d=config.d,
+                utilization=utilization,
+                threshold=config.threshold,
+                lower_bound_method=config.lower_bound_method,
+                compute_upper_bound=True,
+                run_simulation=False,
+            )
+            lower.append(analysis.lower_delay)
+            upper.append(analysis.upper_delay if analysis.upper_delay is not None else math.inf)
+            asymptotic.append(analysis.asymptotic_delay)
+            if config.run_simulation:
+                ensemble = run_ensemble(
+                    "gillespie",
+                    {
+                        "num_servers": config.num_servers,
+                        "d": config.d,
+                        "utilization": utilization,
+                        "num_events": config.simulation_events,
+                    },
+                    replications=config.replications,
+                    workers=config.workers,
+                    seed=config.seed + index,
+                    confidence=config.confidence,
+                    pool=pool,
+                )
+                statistics = ensemble.delay
+                simulated.append(statistics.mean)
+                half_widths.append(statistics.half_width)
+            else:
+                simulated.append(math.nan)
+                half_widths.append(math.nan)
 
     return Figure10Result(
         config=config,
@@ -124,10 +181,17 @@ def run_figure10(config: Figure10Config) -> Figure10Result:
         upper_bound=upper,
         simulation=simulated,
         asymptotic=asymptotic,
+        simulation_half_width=half_widths,
     )
 
 
-def panel_config(panel: str, simulation_events: int = 200_000, utilizations: Optional[Sequence[float]] = None) -> Figure10Config:
+def panel_config(
+    panel: str,
+    simulation_events: int = 200_000,
+    utilizations: Optional[Sequence[float]] = None,
+    replications: int = 1,
+    workers: int = 1,
+) -> Figure10Config:
     """Named configurations for the paper's four panels ('a', 'b', 'c', 'd')."""
     panels = {
         "a": (3, 2),
@@ -145,5 +209,7 @@ def panel_config(panel: str, simulation_events: int = 200_000, utilizations: Opt
         num_servers=num_servers,
         threshold=threshold,
         simulation_events=simulation_events,
+        replications=replications,
+        workers=workers,
         **kwargs,
     )

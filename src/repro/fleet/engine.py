@@ -89,19 +89,28 @@ class FleetSimulation:
 
     Parameters
     ----------
-    num_servers, d, utilization, service_rate:
-        The exponential cluster model; ``utilization`` is the per-server
-        arrival rate over the service rate and may be changed between
-        :meth:`advance` calls (or pushed past 1 for transient overload).
-    policy:
+    num_servers : int
+        Pool size ``N``.
+    d : int
+        Number of servers polled per arrival (``1 <= d <= N``).
+    utilization : float
+        Per-server traffic intensity ``rho = lambda / mu`` (dimensionless,
+        not a raw rate); may be changed between :meth:`advance` calls via
+        :meth:`set_utilization`, and may exceed 1 for transient overload.
+    service_rate : float
+        Per-server service rate ``mu`` in jobs per time unit; simulated
+        time and all delays are in units of ``1/mu``.
+    policy : str
         ``"sqd"`` (power of ``d`` choices over distinct servers, the law of
         :class:`repro.policies.sqd.PowerOfD`), ``"jsq"`` or ``"random"``.
-    with_replacement:
+    seed : int or None
+        RNG seed; identical seeds give bitwise-identical trajectories.
+    initial_state : OccupancyState, optional
+        Starting occupancy; defaults to an empty cluster.
+    with_replacement : bool
         Poll with replacement instead — the variant whose N -> infinity
         limit is exactly the mean-field ODE.  The two laws differ by
         O(d^2/N) and are indistinguishable at fleet scale.
-    initial_state:
-        Starting occupancy; defaults to an empty cluster.
     """
 
     def __init__(
@@ -401,11 +410,45 @@ def simulate_fleet(
 ) -> FleetResult:
     """Stationary fleet simulation: warm up, measure, return time averages.
 
-    ``start="stationary"`` seeds the occupancy at the mean-field fixed point
-    so the warm-up only has to absorb O(sqrt(N)) fluctuations instead of the
-    O(1/(1 - rho)) fill-up transient; ``start="empty"`` reproduces the
-    classic cold start.  Mean delay is recovered via Little's law exactly as
-    in :func:`repro.simulation.gillespie.simulate_sqd_ctmc`.
+    Parameters
+    ----------
+    num_servers : int
+        Pool size ``N`` (the occupancy representation keeps per-event cost
+        independent of it, so ``N = 10^6`` is practical).
+    d : int
+        Number of servers polled per arrival (``1 <= d <= N``).
+    utilization : float
+        Per-server traffic intensity ``rho = lambda / mu`` (dimensionless,
+        strictly below 1 for a stationary run) — *not* the raw arrival
+        rate; the cluster-wide arrival rate is ``rho * mu * N``.
+    service_rate : float
+        Per-server service rate ``mu`` in jobs per time unit.  Reported
+        delays are in units of ``1/mu``, so with the default ``mu = 1`` a
+        mean sojourn time of 2.3 means "2.3 mean service times".
+    num_events : int
+        Total simulated events (arrivals + departures), including warm-up.
+    warmup_fraction : float
+        Fraction of ``num_events`` discarded before measurement starts.
+    seed : int or None
+        RNG seed; identical seeds give bitwise-identical results.
+    policy : str
+        ``"sqd"``, ``"jsq"`` or ``"random"``.
+    start : str or OccupancyState
+        ``"stationary"`` seeds the occupancy at the mean-field fixed point
+        so the warm-up only has to absorb O(sqrt(N)) fluctuations instead
+        of the O(1/(1 - rho)) fill-up transient; ``"empty"`` reproduces the
+        classic cold start; an explicit :class:`OccupancyState` is used
+        as-is.
+    with_replacement : bool
+        Poll with replacement (the mean-field ODE's exact prefactor law)
+        instead of distinct servers.
+
+    Returns
+    -------
+    FleetResult
+        Time-averaged statistics of the measurement window; mean delay is
+        recovered via Little's law exactly as in
+        :func:`repro.simulation.gillespie.simulate_sqd_ctmc`.
     """
     check_in_range("utilization", utilization, 0.0, 1.0)
     if utilization >= 1.0:
@@ -498,10 +541,40 @@ def run_scenario(
 ) -> ScenarioResult:
     """Play a :class:`Scenario` through the occupancy engine.
 
+    Parameters
+    ----------
+    scenario : Scenario
+        The phase sequence to play back; per-phase durations are in units
+        of ``1/mu`` and utilizations are dimensionless ``rho`` values.
+    num_servers : int
+        Base pool size ``N`` that phase ``server_scale`` factors multiply.
+    d : int
+        Number of servers polled per arrival.
+    service_rate : float
+        Per-server service rate ``mu``; delays are in units of ``1/mu``.
+    policy : str
+        ``"sqd"``, ``"jsq"`` or ``"random"``.
+    seed : int or None
+        RNG seed; identical seeds give bitwise-identical playbacks.
+    with_replacement : bool
+        Poll with replacement (see :class:`FleetSimulation`).
+
+    Returns
+    -------
+    ScenarioResult
+        Per-phase statistics windows plus arrival-weighted overall delay.
+
+    Notes
+    -----
     The cluster state carries across phase boundaries (that is the point:
     transients from one phase bleed into the next); statistics are windowed
     per phase.  The warm-up runs at the first phase's settings from a
     near-stationary start and is discarded.
+
+    Zero-duration phases apply their reconfiguration (load change, pool
+    resize) instantaneously but contribute no statistics window — they are
+    excluded from :attr:`ScenarioResult.phases`, since a zero-length
+    time-average is undefined.
     """
     first = scenario.phases[0]
     base_servers = check_integer("num_servers", num_servers, minimum=1)
@@ -523,6 +596,8 @@ def run_scenario(
     for index, phase in enumerate(scenario.phases):
         simulation.set_utilization(phase.utilization)
         simulation.set_num_servers(max(1, int(round(base_servers * phase.server_scale))))
+        if phase.duration <= 0:
+            continue
         simulation.reset_statistics()
         simulation.advance(until_time=simulation.now + phase.duration)
         results.append(simulation.statistics())

@@ -77,6 +77,24 @@ def meanfield_mean_queue_length(utilization: float, d: int, tolerance: float = 1
 def meanfield_delay(utilization: float, d: int, tolerance: float = 1e-14) -> float:
     """Stationary mean sojourn time via Little's law, ``sum_{k>=1} s_k / lambda``.
 
+    Parameters
+    ----------
+    utilization : float
+        Per-server traffic intensity ``rho = lambda / mu`` (dimensionless,
+        in ``[0, 1)``) — not a raw arrival rate.
+    d : int
+        Number of servers polled per arrival.
+    tolerance : float
+        Truncation threshold of the occupancy ladder.
+
+    Returns
+    -------
+    float
+        Mean sojourn time of the ``N -> infinity`` limit, in units of
+        ``1/mu`` (mean service times); ``1.0`` at zero load.
+
+    Notes
+    -----
     Algebraically identical to the paper's Eq. (16)
     (:func:`repro.core.asymptotic.asymptotic_delay`); computed from the ODE
     fixed point as an independent cross-check.

@@ -35,11 +35,24 @@ __all__ = [
 class ScenarioPhase:
     """One piecewise-constant segment of a workload.
 
-    ``utilization`` is the per-server arrival rate relative to the service
-    rate; transient overload (>= 1) is permitted — the occupancy engine
-    handles growing queues and the mean-field ODE predicts the same ramp-up.
-    ``server_scale`` multiplies the engine's base pool size (shrinking only
-    removes idle servers, see :meth:`OccupancyState.resize`).
+    Parameters
+    ----------
+    duration : float
+        Segment length in units of ``1/mu`` (mean service times).  A
+        zero-duration segment is legal: it contributes no simulated time but
+        still applies its load/pool reconfiguration, which is how a
+        flash-crowd spike can land at ``t = 0`` or a resize can be
+        instantaneous.
+    utilization : float
+        Per-server arrival rate relative to the service rate (dimensionless
+        ``rho = lambda / mu``); transient overload (>= 1) is permitted — the
+        occupancy engine handles growing queues and the mean-field ODE
+        predicts the same ramp-up.
+    server_scale : float
+        Multiplies the engine's base pool size (shrinking only removes idle
+        servers, see :meth:`OccupancyState.resize`).
+    label : str
+        Display name of the phase in result tables.
     """
 
     duration: float
@@ -48,14 +61,19 @@ class ScenarioPhase:
     label: str = ""
 
     def __post_init__(self) -> None:
-        check_positive("duration", self.duration)
+        check_positive("duration", self.duration, strict=False)
         check_in_range("utilization", self.utilization, 0.0, 10.0)
         check_positive("server_scale", self.server_scale)
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named sequence of phases plus a stationary warm-up period."""
+    """A named sequence of phases plus a stationary warm-up period.
+
+    Individual phases may have zero duration (instantaneous
+    reconfiguration), but the scenario as a whole must simulate for a
+    positive amount of time — otherwise there is nothing to measure.
+    """
 
     name: str
     description: str
@@ -67,6 +85,10 @@ class Scenario:
             raise ValidationError("a scenario needs at least one phase")
         if self.warmup_time < 0:
             raise ValidationError("warmup_time must be >= 0")
+        if self.total_duration <= 0:
+            raise ValidationError(
+                "a scenario needs a positive total duration (every phase has duration 0)"
+            )
 
     @property
     def total_duration(self) -> float:
@@ -146,13 +168,18 @@ def load_ramp(
 def flash_crowd(
     base_utilization: float = 0.7,
     peak_utilization: float = 1.4,
+    base_duration: float = 10.0,
     peak_duration: float = 5.0,
     recovery_duration: float = 30.0,
     warmup_time: float = 10.0,
 ) -> Scenario:
-    """A short overload burst followed by drain-down at the base load."""
+    """A short overload burst followed by drain-down at the base load.
+
+    ``base_duration=0`` puts the spike at ``t = 0`` — the crowd hits the
+    moment measurement starts, with no quiet lead-in phase.
+    """
     phases = (
-        ScenarioPhase(duration=10.0, utilization=base_utilization, label="base"),
+        ScenarioPhase(duration=base_duration, utilization=base_utilization, label="base"),
         ScenarioPhase(duration=peak_duration, utilization=peak_utilization, label="spike"),
         ScenarioPhase(duration=recovery_duration, utilization=base_utilization, label="recovery"),
     )

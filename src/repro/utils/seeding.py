@@ -23,3 +23,38 @@ def spawn_rngs(seed: int | None, count: int) -> List[np.random.Generator]:
         raise ValueError("count must be at least 1")
     seed_seq = np.random.SeedSequence(seed)
     return [np.random.Generator(np.random.PCG64(child)) for child in seed_seq.spawn(count)]
+
+
+def spawn_seeds(seed: int | None, count: int, start: int = 0) -> List[int]:
+    """Return ``count`` independent *integer* seeds derived from ``seed``.
+
+    Parameters
+    ----------
+    seed : int or None
+        Root seed.  ``None`` derives the children from OS entropy
+        (non-reproducible); any integer gives a deterministic sequence.
+    count : int
+        Number of child seeds to return.
+    start : int, optional
+        Index of the first child.  ``spawn_seeds(s, k, start=j)`` returns
+        exactly the slice ``[j : j + k]`` of the infinite child sequence of
+        ``s``, so callers can extend an ensemble adaptively (more
+        replications later) without re-running or re-seeding the earlier
+        ones.
+
+    Returns
+    -------
+    list of int
+        Plain integers (picklable, printable, storable in JSON) suitable as
+        the ``seed`` argument of any simulator in this package.  Child
+        ``i`` is derived from ``SeedSequence(seed).spawn(...)[i]``, so the
+        streams are statistically independent of each other and of the
+        parent — unlike ``seed + i`` arithmetic, which correlates PCG64
+        streams in the low bits.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if start < 0:
+        raise ValueError("start must be >= 0")
+    children = np.random.SeedSequence(seed).spawn(start + count)[start:]
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]

@@ -116,8 +116,13 @@ class TestFleetCommand:
         first = capsys.readouterr().out
         main(args)
         second = capsys.readouterr().out
-        # events/s (wall clock) varies between runs; the simulated numbers don't
-        assert first.splitlines()[2:] == second.splitlines()[2:]
+        # Everything except the trailing wall-clock diagnostics line is a
+        # deterministic function of the seed.
+        def simulated_lines(text):
+            return [line for line in text.splitlines() if not line.startswith("wall-clock")]
+
+        assert simulated_lines(first) == simulated_lines(second)
+        assert any(line.startswith("wall-clock") for line in first.splitlines())
 
     def test_scenario_run(self, capsys):
         exit_code = main(
@@ -149,3 +154,96 @@ class TestFleetCommand:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "jsq" in output
+
+
+class TestEnsembleCommand:
+    def test_reports_mean_delay_with_confidence_interval(self, capsys):
+        exit_code = main(
+            ["ensemble", "-N", "300", "-d", "2", "-u", "0.9",
+             "--replications", "4", "--events", "20000", "--seed", "5"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mean delay" in output
+        assert "±" in output and "95% CI" in output and "4 replications" in output
+        assert "mean-field limit" in output
+
+    def test_seed_is_reproducible(self, capsys):
+        args = ["ensemble", "-N", "200", "-u", "0.8", "--replications", "2",
+                "--events", "10000", "--seed", "9"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        def simulated_lines(text):
+            return [line for line in text.splitlines() if not line.startswith("wall-clock")]
+
+        assert simulated_lines(first) == simulated_lines(second)
+
+    def test_scenario_ensemble(self, capsys):
+        exit_code = main(
+            ["ensemble", "-N", "200", "--scenario", "constant",
+             "--replications", "2", "--seed", "6"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario x 2 replications" in output
+
+    def test_jsonl_export(self, capsys, tmp_path):
+        import json as json_module
+
+        path = tmp_path / "runs.jsonl"
+        exit_code = main(
+            ["ensemble", "-N", "100", "-u", "0.7", "--replications", "3",
+             "--events", "5000", "--seed", "2", "--jsonl", str(path)]
+        )
+        assert exit_code == 0
+        assert "wrote 3 replication records" in capsys.readouterr().out
+        records = [json_module.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 3
+        assert records[0]["parameters"]["num_servers"] == 100
+
+    def test_single_replication_reports_missing_ci_not_a_verdict(self, capsys):
+        exit_code = main(
+            ["ensemble", "-N", "100", "-u", "0.8", "--replications", "1",
+             "--events", "5000", "--seed", "1"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "no CI with a single replication" in output
+        assert "outside" not in output  # a nan interval is not a verdict
+
+    def test_target_precision_adds_replications(self, capsys):
+        exit_code = main(
+            ["ensemble", "-N", "100", "-u", "0.7", "--replications", "2",
+             "--events", "5000", "--seed", "3",
+             "--target-precision", "0.0000001", "--max-replications", "4"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "4 replications" in output
+
+    def test_utilization_required_without_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["ensemble", "-N", "100"])
+
+    def test_scenario_rejects_stationary_flags(self):
+        with pytest.raises(SystemExit, match="--utilization"):
+            main(["ensemble", "-N", "100", "--scenario", "constant", "-u", "0.9"])
+        with pytest.raises(SystemExit, match="--events"):
+            main(["ensemble", "-N", "100", "--scenario", "constant", "--events", "1000"])
+
+    def test_figure_commands_accept_replications(self, capsys):
+        exit_code = main(
+            ["figure9", "-u", "0.75", "--choices", "2", "--servers", "10",
+             "--events", "10000", "--replications", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "d=2 ±err%" in output
+        exit_code = main(
+            ["figure10", "--panel", "a", "--events", "10000", "--replications", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sim ±CI" in output

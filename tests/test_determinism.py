@@ -1,0 +1,87 @@
+"""Regression tests: seeded runs are bitwise identical across processes.
+
+The reproducibility contract of the CLI and the ensemble runner is stronger
+than "statistically the same": with a fixed ``--seed``, every simulated
+number must be *bitwise identical* across runs, across separate operating
+system processes, and across worker counts.  These tests spawn fresh python
+interpreters (not just fresh calls in this process) so they would catch any
+dependence on process-level state — hash randomization, global RNG state,
+scheduling order of pool workers, or dict ordering leaking into seeds.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def _run_cli(*arguments: str) -> str:
+    """Run ``repro-lb`` in a fresh interpreter and return its stdout."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *arguments],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def _simulated_lines(stdout: str) -> list:
+    """Drop wall-clock diagnostic lines — the only legitimate variation."""
+    return [line for line in stdout.splitlines() if not line.startswith("wall-clock")]
+
+
+class TestFleetSeedDeterminism:
+    def test_fleet_seed_bitwise_identical_across_processes(self):
+        arguments = ("fleet", "-N", "500", "-u", "0.8", "--events", "40000", "--seed", "3")
+        first = _run_cli(*arguments)
+        second = _run_cli(*arguments)
+        assert _simulated_lines(first) == _simulated_lines(second)
+        # The filter removed exactly the wall-clock line, nothing else.
+        assert len(first.splitlines()) - len(_simulated_lines(first)) == 1
+
+    def test_fleet_different_seed_changes_output(self):
+        base = ("fleet", "-N", "500", "-u", "0.8", "--events", "40000", "--seed")
+        assert _simulated_lines(_run_cli(*base, "3")) != _simulated_lines(_run_cli(*base, "4"))
+
+
+class TestEnsembleSeedDeterminism:
+    def test_ensemble_bitwise_identical_across_processes_and_workers(self):
+        base = (
+            "ensemble", "-N", "300", "-d", "2", "-u", "0.9",
+            "--replications", "3", "--events", "20000", "--seed", "17",
+        )
+        first = _run_cli(*base, "--workers", "1")
+        second = _run_cli(*base, "--workers", "1")
+        parallel = _run_cli(*base, "--workers", "2")
+        assert _simulated_lines(first) == _simulated_lines(second)
+        # Worker count must not leak into the simulated numbers either.
+        assert _simulated_lines(first) == _simulated_lines(parallel)
+
+    def test_ensemble_jsonl_metrics_identical_across_processes(self, tmp_path):
+        import json
+
+        base = (
+            "ensemble", "-N", "200", "-u", "0.8",
+            "--replications", "2", "--events", "10000", "--seed", "23",
+        )
+        runs = []
+        for index in range(2):
+            path = tmp_path / f"run{index}.jsonl"
+            _run_cli(*base, "--jsonl", str(path))
+            records = [json.loads(line) for line in path.read_text().splitlines()]
+            # Strip what is legitimately run-dependent: wall-clock metrics
+            # and the provenance timestamp.
+            for record in records:
+                record.pop("wall_seconds", None)
+                record.pop("events_per_second", None)
+                record.pop("provenance", None)
+            runs.append(records)
+        assert runs[0] == runs[1]

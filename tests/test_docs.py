@@ -1,0 +1,83 @@
+"""Tier-1 guard for the documentation tree (same checks as the CI docs job):
+every ```bash block parses and every relative link resolves."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+
+def test_docs_tree_exists():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "architecture.md", "cli.md", "reproducing-the-paper.md"} <= names
+
+
+def test_checker_passes_on_repo_docs():
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER)] + [str(path) for path in DOC_FILES],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_checker_catches_broken_link(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [missing](does-not-exist.md)\n")
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER), str(bad)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 1
+    assert "broken link" in completed.stderr
+
+
+@pytest.mark.skipif(shutil.which("bash") is None, reason="bash not available")
+def test_checker_catches_bash_syntax_error(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("```bash\nfor do done (((\n```\n")
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER), str(bad)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 1
+    assert "does not parse" in completed.stderr
+
+
+def test_checker_ignores_links_inside_code_fences(tmp_path):
+    good = tmp_path / "good.md"
+    good.write_text("```text\nsee [label](not/a/real/file.md)\n```\n")
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER), str(good)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_checker_ignores_external_links_and_anchors(tmp_path):
+    good = tmp_path / "good.md"
+    good.write_text(
+        "[web](https://example.com) [anchor](#section) ![img](missing.png)\n"
+    )
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER), str(good)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stderr

@@ -1,0 +1,176 @@
+"""Tests for the parallel multi-replication ensemble runner."""
+
+import math
+
+import pytest
+
+from repro.ensemble.runner import (
+    SIMULATION_KINDS,
+    EnsembleConfig,
+    run_ensemble,
+)
+from repro.utils.seeding import spawn_seeds
+from repro.utils.validation import ValidationError
+
+FLEET_PARAMS = {"num_servers": 100, "utilization": 0.8, "num_events": 10_000}
+
+
+class TestSeedDerivation:
+    def test_spawn_seeds_deterministic_and_sliceable(self):
+        full = spawn_seeds(42, 10)
+        assert spawn_seeds(42, 10) == full
+        # Extending an ensemble reproduces exactly the tail of the sequence.
+        assert spawn_seeds(42, 4, start=6) == full[6:]
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(7, 50)
+        assert len(set(seeds)) == 50
+
+    def test_spawn_seeds_validation(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+        with pytest.raises(ValueError):
+            spawn_seeds(1, 1, start=-2)
+
+
+class TestRunEnsemble:
+    def test_replications_use_distinct_seeds(self):
+        result = run_ensemble("fleet", FLEET_PARAMS, replications=4, seed=1)
+        seeds = [record["seed"] for record in result.records]
+        delays = result.samples("mean_delay")
+        assert len(set(seeds)) == 4
+        assert len(set(delays)) == 4  # different streams, different realizations
+        assert [record["replication"] for record in result.records] == [0, 1, 2, 3]
+
+    def test_bitwise_deterministic_across_worker_counts(self):
+        serial = run_ensemble("fleet", FLEET_PARAMS, replications=4, workers=1, seed=5)
+        parallel = run_ensemble("fleet", FLEET_PARAMS, replications=4, workers=3, seed=5)
+        assert serial.simulation_records() == parallel.simulation_records()
+
+    def test_statistics_and_delay_shortcut(self):
+        result = run_ensemble("fleet", FLEET_PARAMS, replications=3, seed=2)
+        stats = result.delay
+        assert stats.n == 3
+        assert stats.mean == pytest.approx(sum(result.samples("mean_delay")) / 3)
+        assert math.isfinite(stats.half_width)
+
+    def test_unknown_metric_rejected(self):
+        result = run_ensemble("fleet", FLEET_PARAMS, replications=2, seed=2)
+        with pytest.raises(ValidationError, match="unknown metric"):
+            result.samples("nonexistent")
+
+    def test_gillespie_kind(self):
+        result = run_ensemble(
+            "gillespie",
+            {"num_servers": 10, "d": 2, "utilization": 0.7, "num_events": 20_000},
+            replications=2,
+            seed=3,
+        )
+        assert result.replications == 2
+        assert all(record["mean_delay"] > 1.0 for record in result.records)
+
+    def test_cluster_kind(self):
+        result = run_ensemble(
+            "cluster",
+            {"num_servers": 5, "d": 2, "utilization": 0.7, "num_jobs": 5_000},
+            replications=2,
+            seed=4,
+        )
+        assert result.replications == 2
+        assert all(record["mean_delay"] > 1.0 for record in result.records)
+
+    def test_scenario_kind(self):
+        result = run_ensemble(
+            "scenario",
+            {
+                "scenario": "constant",
+                "scenario_parameters": {"duration": 10.0, "warmup_time": 2.0},
+                "num_servers": 100,
+                "d": 2,
+            },
+            replications=2,
+            seed=5,
+        )
+        assert result.replications == 2
+        assert all(record["mean_delay"] > 0.0 for record in result.records)
+
+    def test_as_table_summarizes_metrics(self):
+        result = run_ensemble("fleet", FLEET_PARAMS, replications=3, seed=6)
+        table = result.as_table()
+        assert "mean_delay" in table and "±95% CI" in table
+        # wall-clock noise is excluded from the deterministic table
+        assert "wall_seconds" not in table and "events_per_second" not in table
+
+
+class TestAdaptiveStopping:
+    def test_stops_at_target_precision(self):
+        result = run_ensemble(
+            "gillespie",
+            {"num_servers": 10, "d": 2, "utilization": 0.5, "num_events": 30_000},
+            replications=2,
+            seed=7,
+            target_relative_half_width=0.2,
+            max_replications=32,
+        )
+        assert 2 <= result.replications <= 32
+        if result.replications < 32:
+            assert result.delay.precision_reached(0.2)
+
+    def test_respects_max_replications(self):
+        result = run_ensemble(
+            "gillespie",
+            {"num_servers": 10, "d": 2, "utilization": 0.9, "num_events": 2_000},
+            replications=2,
+            seed=8,
+            target_relative_half_width=1e-9,  # unreachable
+            max_replications=6,
+            batch_size=2,
+        )
+        assert result.replications == 6
+
+    def test_adaptive_extension_reuses_prefix_seeds(self):
+        fixed = run_ensemble("fleet", FLEET_PARAMS, replications=2, seed=9)
+        adaptive = run_ensemble(
+            "fleet",
+            FLEET_PARAMS,
+            replications=2,
+            seed=9,
+            target_relative_half_width=1e-9,
+            max_replications=6,
+            batch_size=2,
+        )
+        assert adaptive.replications == 6
+        # The first two replications are bitwise those of the fixed run.
+        assert adaptive.simulation_records()[:2] == fixed.simulation_records()
+
+
+class TestEnsembleConfig:
+    def test_kinds_registry(self):
+        assert set(SIMULATION_KINDS) == {"fleet", "gillespie", "cluster", "scenario"}
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValidationError, match="kind"):
+            EnsembleConfig(kind="quantum")
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValidationError):
+            EnsembleConfig(kind="fleet", confidence=0.0)
+
+    def test_max_replications_must_cover_initial_in_adaptive_mode(self):
+        with pytest.raises(ValidationError):
+            EnsembleConfig(
+                kind="fleet",
+                replications=10,
+                max_replications=5,
+                target_relative_half_width=0.05,
+            )
+
+    def test_fixed_count_ignores_max_replications_cap(self):
+        # Without a precision target the cap is irrelevant: asking for more
+        # replications than the (adaptive-mode) default cap must be legal.
+        config = EnsembleConfig(kind="fleet", replications=100)
+        assert config.replications == 100
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValidationError):
+            EnsembleConfig(kind="fleet", target_relative_half_width=-0.1)

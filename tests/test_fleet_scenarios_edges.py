@@ -1,0 +1,127 @@
+"""Edge-case tests for fleet scenarios: zero-duration segments, flash crowds
+at t=0, and shrinking a pool whose servers are still occupied."""
+
+import pytest
+
+from repro.fleet.engine import FleetSimulation, run_scenario
+from repro.fleet.scenarios import (
+    Scenario,
+    ScenarioPhase,
+    flash_crowd,
+    get_scenario,
+    load_ramp,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestZeroDurationSegments:
+    def test_zero_duration_phase_is_legal(self):
+        phase = ScenarioPhase(duration=0.0, utilization=0.9)
+        assert phase.duration == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioPhase(duration=-1.0, utilization=0.9)
+
+    def test_all_zero_durations_rejected(self):
+        with pytest.raises(ValidationError, match="positive total duration"):
+            Scenario(
+                name="empty",
+                description="no time at all",
+                phases=(ScenarioPhase(duration=0.0, utilization=0.5),),
+            )
+
+    def test_zero_total_duration_ramp_rejected(self):
+        with pytest.raises(ValidationError, match="positive total duration"):
+            load_ramp(total_duration=0.0)
+
+    def test_zero_duration_segment_is_skipped_but_reconfigures(self):
+        """A zero-length mid-ramp segment applies its load without a window."""
+        scenario = Scenario(
+            name="step",
+            description="instantaneous load step",
+            phases=(
+                ScenarioPhase(duration=5.0, utilization=0.5, label="low"),
+                ScenarioPhase(duration=0.0, utilization=5.0, label="ghost"),
+                ScenarioPhase(duration=5.0, utilization=0.9, label="high"),
+            ),
+            warmup_time=2.0,
+        )
+        result = run_scenario(scenario, num_servers=200, seed=31)
+        # The zero-duration phase contributes no statistics window...
+        assert list(result.labels) == ["low", "high"]
+        assert len(result.phases) == 2
+        # ...and did not leak its (absurd) utilization into the windows.
+        assert result.phases[0].utilization == pytest.approx(0.5)
+        assert result.phases[1].utilization == pytest.approx(0.9)
+
+    def test_zero_duration_resize_applies_instantaneously(self):
+        scenario = Scenario(
+            name="snap-resize",
+            description="pool doubles in zero time",
+            phases=(
+                ScenarioPhase(duration=4.0, utilization=0.7, label="before"),
+                ScenarioPhase(duration=0.0, utilization=0.7, server_scale=2.0, label="snap"),
+                ScenarioPhase(duration=4.0, utilization=0.7, server_scale=2.0, label="after"),
+            ),
+        )
+        result = run_scenario(scenario, num_servers=100, seed=32)
+        assert result.phases[0].num_servers == 100
+        assert result.phases[1].num_servers == 200
+
+
+class TestFlashCrowdAtTimeZero:
+    def test_peak_at_t0(self):
+        scenario = flash_crowd(base_duration=0.0, peak_duration=3.0, recovery_duration=10.0)
+        result = run_scenario(scenario, num_servers=300, seed=33)
+        # No base window: measurement starts inside the spike.
+        assert list(result.labels) == ["spike", "recovery"]
+        assert result.phases[0].utilization == pytest.approx(1.4)
+        # Overload at t=0 builds queues; recovery drains them back down.
+        assert result.phases[0].mean_queue_length < result.phases[1].mean_queue_length * 10
+        assert result.total_time == pytest.approx(13.0)
+
+    def test_registry_forwards_base_duration(self):
+        scenario = get_scenario("flash-crowd", base_duration=0.0)
+        assert scenario.phases[0].duration == 0.0
+        assert scenario.phases[1].label == "spike"
+
+    def test_default_still_has_base_phase(self):
+        result = run_scenario(flash_crowd(), num_servers=100, seed=34)
+        assert list(result.labels) == ["base", "spike", "recovery"]
+
+
+class TestShrinkWithOccupiedServers:
+    def test_engine_clamps_shrink_at_busy_servers(self):
+        simulation = FleetSimulation(num_servers=50, d=2, utilization=0.95, seed=35)
+        simulation.advance(max_events=20_000)
+        busy = simulation.state.busy_servers
+        assert busy > 2  # high load: most servers hold a job
+        actual = simulation.set_num_servers(2)
+        # Running jobs are never killed: the pool clamps at the busy count.
+        assert actual == busy
+        assert simulation.state.num_servers == busy
+
+    def test_resize_scenario_with_occupied_servers_keeps_law_valid(self):
+        scenario = Scenario(
+            name="deep-shrink",
+            description="resize far below the busy count",
+            phases=(
+                ScenarioPhase(duration=5.0, utilization=0.95, label="hot"),
+                ScenarioPhase(duration=5.0, utilization=0.95, server_scale=0.01, label="shrunk"),
+            ),
+            warmup_time=2.0,
+        )
+        result = run_scenario(scenario, num_servers=200, seed=36)
+        shrunk = result.phases[1]
+        # The pool never drops below its busy servers, so the occupancy
+        # fractions stay a valid non-increasing profile with s_0 = 1.
+        assert shrunk.num_servers >= 2
+        fractions = shrunk.occupancy_fractions
+        assert fractions[0] == pytest.approx(1.0)
+        assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+    def test_shrink_below_d_still_rejected(self):
+        simulation = FleetSimulation(num_servers=10, d=5, utilization=0.0, seed=37)
+        with pytest.raises(ValidationError):
+            simulation.set_num_servers(1)

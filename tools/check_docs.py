@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Documentation checker: shell blocks must parse, internal links must resolve.
+
+Used by the CI docs job and by ``tests/test_docs.py``:
+
+* every fenced ```` ```bash ```` block is piped through ``bash -n`` (parse
+  only, nothing is executed), so documented commands cannot rot into
+  syntax errors;
+* every relative markdown link ``[text](target)`` must point at an existing
+  file (anchors and ``http(s)``/``mailto`` targets are skipped), so the
+  docs tree cannot silently break when files move.
+
+Usage::
+
+    python tools/check_docs.py README.md docs/*.md
+
+Exits non-zero with one line per failure.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+# Inline links only; reference-style links and images are out of scope.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def extract_bash_blocks(text: str) -> List[Tuple[int, str]]:
+    """Return ``(starting_line, block_text)`` for every ```bash fence."""
+    blocks: List[Tuple[int, str]] = []
+    language = None
+    start = 0
+    lines: List[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        fence = FENCE_RE.match(line.strip())
+        if fence is None:
+            if language is not None:
+                lines.append(line)
+            continue
+        if language is None:
+            language = fence.group(1).lower()
+            start = number
+            lines = []
+        else:
+            if language in ("bash", "sh", "shell"):
+                blocks.append((start, "\n".join(lines)))
+            language = None
+    return blocks
+
+
+def check_bash_blocks(path: Path, bash: str) -> List[str]:
+    """Run ``bash -n`` over every shell block; return failure messages."""
+    failures = []
+    for line_number, block in extract_bash_blocks(path.read_text(encoding="utf-8")):
+        completed = subprocess.run(
+            [bash, "-n"], input=block, capture_output=True, text=True, timeout=30
+        )
+        if completed.returncode != 0:
+            detail = completed.stderr.strip().splitlines()
+            failures.append(
+                f"{path}:{line_number}: bash block does not parse: "
+                f"{detail[0] if detail else 'unknown error'}"
+            )
+    return failures
+
+
+def check_links(path: Path) -> List[str]:
+    """Every relative link target must exist on disk.
+
+    Fenced code blocks are skipped: link-shaped text inside an example is
+    code, not a link.
+    """
+    failures = []
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                failures.append(f"{path}:{number}: broken link target {target!r}")
+    return failures
+
+
+def check_files(paths: List[Path]) -> List[str]:
+    """Check every file; returns the combined failure list."""
+    bash = shutil.which("bash")
+    failures: List[str] = []
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path}: file not found")
+            continue
+        if bash is not None:
+            failures.extend(check_bash_blocks(path, bash))
+        failures.extend(check_links(path))
+    if bash is None:
+        print("warning: bash not found on PATH, shell blocks not checked", file=sys.stderr)
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = check_files([Path(argument) for argument in argv])
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv)} file(s): all shell blocks parse, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

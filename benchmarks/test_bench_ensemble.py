@@ -21,19 +21,22 @@ import time
 
 from conftest import env_int
 
+from repro.api import ExperimentSpec
 from repro.ensemble.runner import run_ensemble
 from repro.utils.tables import format_table
 
 EVENTS = env_int("REPRO_BENCH_ENSEMBLE_EVENTS", 400_000)
 REPLICATIONS = env_int("REPRO_BENCH_ENSEMBLE_REPLICATIONS", 8)
-PARAMETERS = {"num_servers": 1_000, "d": 2, "utilization": 0.9, "num_events": EVENTS}
 SEED = 20160627
+SPEC = ExperimentSpec.create(
+    num_servers=1_000, d=2, utilization=0.9, num_events=EVENTS, seed=SEED
+)
 
 
 def _time_ensemble(workers: int):
     started = time.perf_counter()
     result = run_ensemble(
-        "fleet", PARAMETERS, replications=REPLICATIONS, workers=workers, seed=SEED
+        spec=SPEC, backend="fleet", replications=REPLICATIONS, workers=workers, seed=SEED
     )
     return time.perf_counter() - started, result
 
@@ -75,7 +78,7 @@ def test_ensemble_speedup_in_workers(benchmark, report):
         rows,
         title=(
             f"ensemble runner speedup: {REPLICATIONS} replications x {EVENTS} events, "
-            f"N={PARAMETERS['num_servers']}, rho={PARAMETERS['utilization']} "
+            f"N={SPEC.system.num_servers}, rho={SPEC.system.utilization} "
             f"({cores} cores available)"
         ),
     )

@@ -10,15 +10,17 @@ each solve took, plus the (cheap) Theorem 3 lower bound for comparison.
 Run with::
 
     python examples/bound_accuracy_study.py
+
+(The exact oracle routes through ``repro.run``; the threshold sweep stays on
+the low-level solver API on purpose — per-method timings are its subject.)
 """
 
 import time
 
-from repro import SQDModel
+from repro import ExperimentSpec, SQDModel, run
 from repro.core.bound_models import LowerBoundModel, UpperBoundModel
 from repro.core.improved_lower import solve_improved_lower_bound
 from repro.core.qbd_solver import SolutionMethod, UnstableBoundModelError, solve_bound_model
-from repro.core.exact import solve_exact_truncated
 from repro.core.state_space import repeating_block_size
 from repro.utils.tables import format_table
 
@@ -30,7 +32,12 @@ def main() -> None:
     thresholds = (1, 2, 3, 4, 5)
 
     model = SQDModel(num_servers=num_servers, d=d, utilization=utilization)
-    exact = solve_exact_truncated(model, buffer_size=35)
+    exact = run(
+        ExperimentSpec.create(
+            num_servers=num_servers, d=d, utilization=utilization, buffer_size=35
+        ),
+        backend="exact",
+    )
     print(
         f"SQ({d}) with N={num_servers} at rho={utilization}; exact mean delay "
         f"(truncated chain oracle) = {exact.mean_delay:.4f}\n"

@@ -5,53 +5,52 @@ Scenario (the paper's motivating setting): a data-center front end dispatches
 requests to a modest pool of workers.  Polling more workers per request (a
 larger ``d``) lowers the response time but costs one round of feedback
 messages per polled worker.  This example sweeps ``d`` for a finite pool and
-shows the delay/feedback tradeoff, using the job-level discrete-event
-simulator (so non-exponential service could be plugged in) together with the
-finite-regime lower bound.
+shows the delay/feedback tradeoff, using the job-level ``cluster`` backend
+(so non-exponential service could be plugged into the same spec) together
+with the finite-regime lower bound — all through :func:`repro.run`.
 
 Run with::
 
     python examples/datacenter_dispatch.py
+
+Set ``REPRO_EXAMPLES_SCALE`` (e.g. ``0.01``) to shrink the simulated job
+counts for smoke runs.
 """
 
-from repro import SQDModel, solve_improved_lower_bound
-from repro.core.asymptotic import asymptotic_delay
-from repro.policies import PowerOfD
-from repro.simulation import ClusterSimulation
-from repro.simulation.workloads import poisson_exponential_workload
+import os
+
+from repro import ExperimentSpec, asymptotic_delay, run
 from repro.utils.tables import format_table
+
+SCALE = float(os.environ.get("REPRO_EXAMPLES_SCALE", "1"))
 
 
 def main() -> None:
     num_servers = 8
     utilization = 0.9
-    threshold = 2
-    num_jobs = 60_000
-    warmup_jobs = 6_000
+    num_jobs = max(2_000, int(60_000 * SCALE))
 
     print(f"Worker pool: N={num_servers}, per-worker load rho={utilization}\n")
 
     rows = []
     for d in (1, 2, 3, 4, 8):
-        workload = poisson_exponential_workload(num_servers, utilization)
-        simulation = ClusterSimulation(
-            workload,
-            PowerOfD(d),
+        spec = ExperimentSpec.create(
+            num_servers=num_servers,
+            d=d,
+            utilization=utilization,
+            num_jobs=num_jobs,
             seed=101 + d,
-            warmup_jobs=warmup_jobs,
-        ).run(num_jobs)
-
-        model = SQDModel(num_servers=num_servers, d=d, utilization=utilization)
-        lower = solve_improved_lower_bound(model, threshold).mean_delay
-
-        summary = simulation.sojourn_summary
+            threshold=2,
+        )
+        simulation = run(spec, backend="cluster", replications=3)
+        lower = run(spec, backend="qbd_bounds").extras["lower_delay"]
         rows.append(
             [
                 d,
                 d,  # feedback messages per request
                 lower,
-                simulation.mean_sojourn_time,
-                f"+/-{summary.half_width:.3f}",
+                simulation.mean_delay,
+                f"+/-{simulation.half_width:.3f}",
                 asymptotic_delay(utilization, d),
             ]
         )

@@ -7,20 +7,33 @@ Mitzenmacher's asymptotic delay against a finite-N simulation, for two values
 of ``d``.  It also prints the finite-regime lower bound, which — unlike the
 asymptotic formula — moves with ``N``.
 
+Each point is one :class:`repro.ExperimentSpec` run on two backends: the
+``ctmc`` simulator for the estimate and ``qbd_bounds`` for the lower bound.
+
 Run with::
 
     python examples/finite_vs_asymptotic.py
+
+Set ``REPRO_EXAMPLES_SCALE`` (e.g. ``0.01``) to shrink the simulated event
+counts for smoke runs.
 """
 
-from repro import SQDModel, asymptotic_delay, relative_error_percent, solve_improved_lower_bound
-from repro.simulation import simulate_sqd_ctmc
+import os
+
+from repro import ExperimentSpec, asymptotic_delay, relative_error_percent, run
 from repro.utils.tables import format_table
+
+SCALE = float(os.environ.get("REPRO_EXAMPLES_SCALE", "1"))
 
 
 def main() -> None:
     utilization = 0.95
     threshold = 2
-    num_events = 300_000
+    num_events = max(2_000, int(300_000 * SCALE))
+    # The QBD bound blocks have C(N+T-1, T) states; beyond this pool size
+    # the solve takes minutes, so the bound column switches to "-" (the
+    # simulators keep going — that division of labour is the API's point).
+    bounds_max_servers = 25
 
     print(f"Per-server utilization rho = {utilization}\n")
 
@@ -30,15 +43,19 @@ def main() -> None:
         for num_servers in (max(3, d), 10, 25, 50, 100):
             if num_servers < d:
                 continue
-            simulation = simulate_sqd_ctmc(
+            spec = ExperimentSpec.create(
                 num_servers=num_servers,
                 d=d,
                 utilization=utilization,
                 num_events=num_events,
                 seed=400 + num_servers,
+                threshold=threshold,
             )
-            model = SQDModel(num_servers=num_servers, d=d, utilization=utilization)
-            lower = solve_improved_lower_bound(model, threshold).mean_delay
+            simulation = run(spec, backend="ctmc")
+            if num_servers <= bounds_max_servers:
+                lower = f"{run(spec, backend='qbd_bounds').extras['lower_delay']:.4f}"
+            else:
+                lower = "-"
             rows.append(
                 [
                     num_servers,

@@ -15,8 +15,14 @@ for the underlying queueing building blocks.  This example exercises both:
 Run with::
 
     python examples/nonpoisson_arrivals.py
+
+Set ``REPRO_EXAMPLES_SCALE`` (e.g. ``0.01``) to shrink the simulated job
+counts for smoke runs.
 """
 
+import os
+
+from repro import ExperimentSpec, run
 from repro.core.improved_lower import geometric_tail_decay, solve_improved_lower_bound
 from repro.core.model import SQDModel
 from repro.markov.arrival_processes import (
@@ -28,13 +34,11 @@ from repro.markov.arrival_processes import (
 from repro.markov.map_ph_queue import solve_map_ph_1
 from repro.markov.service_distributions import (
     ErlangService,
-    ExponentialService,
     HyperexponentialService,
 )
-from repro.policies import PowerOfD
-from repro.simulation import ClusterSimulation
-from repro.simulation.workloads import Workload
 from repro.utils.tables import format_table
+
+SCALE = float(os.environ.get("REPRO_EXAMPLES_SCALE", "1"))
 
 
 def sqd_under_renewal_arrivals() -> None:
@@ -42,25 +46,47 @@ def sqd_under_renewal_arrivals() -> None:
     utilization = 0.85
     threshold = 3
     total_rate = utilization * num_servers
+    num_jobs = max(2_000, int(60_000 * SCALE))
     model = SQDModel(num_servers=num_servers, d=2, utilization=utilization)
 
+    # Each variant pairs the low-level arrival process (for Theorem 2's sigma
+    # root) with the spec spelling the cluster backend simulates through
+    # `repro.run` — the same arrival law, two views.
     arrival_variants = [
-        ("Poisson", PoissonArrivals(total_rate)),
-        ("Erlang-4 renewal (smooth)", RenewalArrivals(ErlangService(stages=4, mean=1.0 / total_rate))),
+        ("Poisson", PoissonArrivals(total_rate), "poisson", {}),
+        (
+            "Erlang-4 renewal (smooth)",
+            RenewalArrivals(ErlangService(stages=4, mean=1.0 / total_rate)),
+            "erlang",
+            {"stages": 4},
+        ),
         (
             "Hyperexponential renewal (bursty, SCV=4)",
             RenewalArrivals(HyperexponentialService.balanced_two_phase(mean=1.0 / total_rate, scv=4.0)),
+            "hyperexponential",
+            {"scv": 4.0},
         ),
     ]
 
     poisson_bound = solve_improved_lower_bound(model, threshold)
     rows = []
-    for name, arrivals in arrival_variants:
+    for name, arrivals, arrival_name, arrival_params in arrival_variants:
         sigma = solve_sigma(arrivals, service_rate=num_servers)
         decay = geometric_tail_decay(model, arrivals)
-        workload = Workload(num_servers, arrivals, ExponentialService(1.0))
-        simulated = ClusterSimulation(workload, PowerOfD(2), seed=77, warmup_jobs=5_000).run(60_000)
-        rows.append([name, sigma, decay, simulated.mean_sojourn_time])
+        simulated = run(
+            ExperimentSpec.create(
+                num_servers=num_servers,
+                d=2,
+                utilization=utilization,
+                arrival=arrival_name,
+                arrival_params=arrival_params,
+                num_jobs=num_jobs,
+                warmup_jobs=num_jobs // 12,
+                seed=77,
+            ),
+            backend="cluster",
+        )
+        rows.append([name, sigma, decay, simulated.mean_delay])
 
     print(
         format_table(

@@ -3,45 +3,57 @@
 
 The paper's analysis covers SQ(d) with exponential service; its future-work
 section points at more general service-time distributions.  The job-level
-simulator is distribution-agnostic, so this example compares uniform random,
-round-robin, SQ(2), JSQ, join-idle-queue and least-work-left dispatching on
-both the paper's exponential workload and a high-variance (hyperexponential)
-workload, where queue-length information alone is less informative.
+``cluster`` backend is distribution-agnostic, so this example compares
+uniform random, round-robin, SQ(2), SQ(3), JSQ, join-idle-queue and
+least-work-left dispatching on both the paper's exponential workload and a
+high-variance (hyperexponential) workload, where queue-length information
+alone is less informative.
+
+Every row is the *same* :class:`repro.ExperimentSpec` with only the policy
+(and for SQ(d)/least-work-left the poll count ``d``) swapped — the sweep the
+stringly-typed pre-spec entry points could not express uniformly.
 
 Run with::
 
     python examples/policy_comparison.py
+
+Set ``REPRO_EXAMPLES_SCALE`` (e.g. ``0.01``) to shrink the simulated job
+counts for smoke runs.
 """
 
-from repro.markov.arrival_processes import PoissonArrivals
-from repro.markov.service_distributions import ExponentialService, HyperexponentialService
-from repro.policies import (
-    JoinIdleQueue,
-    JoinShortestQueue,
-    LeastWorkLeft,
-    PowerOfD,
-    RoundRobin,
-    UniformRandom,
-)
-from repro.simulation import ClusterSimulation
-from repro.simulation.workloads import Workload
+import os
+
+from repro import ExperimentSpec, run
 from repro.utils.tables import format_table
 
+SCALE = float(os.environ.get("REPRO_EXAMPLES_SCALE", "1"))
 
-def compare(workload: Workload, title: str, num_jobs: int = 50_000, warmup_jobs: int = 5_000) -> None:
-    policies = [
-        ("random (SQ(1))", UniformRandom()),
-        ("round-robin", RoundRobin()),
-        ("SQ(2)", PowerOfD(2)),
-        ("SQ(3)", PowerOfD(3)),
-        ("JSQ", JoinShortestQueue()),
-        ("join-idle-queue", JoinIdleQueue()),
-        ("least-work-left(2)", LeastWorkLeft(2)),
-    ]
+POLICIES = [
+    ("random (SQ(1))", "random", 1),
+    ("round-robin", "round_robin", 1),
+    ("SQ(2)", "sqd", 2),
+    ("SQ(3)", "sqd", 3),
+    ("JSQ", "jsq", 1),
+    ("join-idle-queue", "jiq", 1),
+    ("least-work-left(2)", "least_work_left", 2),
+]
+
+
+def compare(title: str, num_servers: int, utilization: float, num_jobs: int, **workload) -> None:
     rows = []
-    for name, policy in policies:
-        result = ClusterSimulation(workload, policy, seed=2024, warmup_jobs=warmup_jobs).run(num_jobs)
-        rows.append([name, result.mean_waiting_time, result.mean_sojourn_time])
+    for name, policy, d in POLICIES:
+        spec = ExperimentSpec.create(
+            num_servers=num_servers,
+            d=d,
+            utilization=utilization,
+            policy=policy,
+            num_jobs=num_jobs,
+            warmup_jobs=num_jobs // 10,
+            seed=2024,
+            **workload,
+        )
+        result = run(spec, backend="cluster")
+        rows.append([name, result.extras["mean_waiting_time"], result.mean_delay])
     print(format_table(["policy", "mean waiting time", "mean delay"], rows, title=title))
     print()
 
@@ -49,17 +61,23 @@ def compare(workload: Workload, title: str, num_jobs: int = 50_000, warmup_jobs:
 def main() -> None:
     num_servers = 10
     utilization = 0.9
-    arrival = PoissonArrivals(rate=utilization * num_servers)
+    num_jobs = max(2_000, int(50_000 * SCALE))
 
-    exponential = Workload(num_servers, arrival, ExponentialService(1.0))
-    compare(exponential, f"Exponential service, N={num_servers}, rho={utilization} (the paper's model)")
-
-    heavy_tailed = Workload(
+    compare(
+        f"Exponential service, N={num_servers}, rho={utilization} (the paper's model)",
         num_servers,
-        arrival,
-        HyperexponentialService.balanced_two_phase(mean=1.0, scv=10.0),
+        utilization,
+        num_jobs,
     )
-    compare(heavy_tailed, f"Hyperexponential service (SCV=10), N={num_servers}, rho={utilization}")
+
+    compare(
+        f"Hyperexponential service (SCV=10), N={num_servers}, rho={utilization}",
+        num_servers,
+        utilization,
+        num_jobs,
+        service="hyperexponential",
+        service_params={"scv": 10.0},
+    )
 
     print("Reading:")
     print("  * Under exponential service, SQ(2) already captures most of JSQ's gain")

@@ -9,25 +9,47 @@ the paper compares against.
 
 Quickstart
 ----------
->>> from repro import analyze_sqd
->>> result = analyze_sqd(num_servers=3, d=2, utilization=0.9, threshold=3)
->>> result.lower_delay <= result.upper_delay  # doctest: +SKIP
-True
+One declarative spec, many engines: describe the experiment once, then run
+it on any capable backend — the QBD bounds, the exact chain, either
+simulator, the occupancy fleet engine or the mean-field limit.
 
-For estimates with error bars, replicate any simulation into an ensemble:
+>>> from repro import ExperimentSpec, run
+>>> spec = ExperimentSpec.create(num_servers=50, d=2, utilization=0.85)
+>>> estimate = run(spec, replications=8, workers=4)      # doctest: +SKIP
+>>> print(estimate)                                      # doctest: +SKIP
+2.0627 ± 0.011 (95% CI, 8 replications, fleet)
+>>> bracket = run(spec, backend="qbd_bounds")            # doctest: +SKIP
+>>> bracket.extras["upper_delay"]                        # doctest: +SKIP
+2.8941...
 
->>> from repro import run_ensemble
->>> ensemble = run_ensemble(
-...     "fleet", {"num_servers": 1000, "utilization": 0.9},
-...     replications=8, workers=4,
-... )  # doctest: +SKIP
->>> print(ensemble.delay)  # doctest: +SKIP
-2.60326 ± 0.0577 (95% CI, 8 replications)
+``backend="auto"`` (the default) picks the cheapest capable engine;
+``repro-lb backends`` lists the registry.  The pre-spec entry points
+(:func:`analyze_sqd`, :func:`simulate_fleet`, :func:`run_ensemble`, ...)
+remain available underneath.
 
-See ``examples/`` for end-to-end scripts, ``docs/`` for the architecture
-and CLI references, and ``benchmarks/`` for the harnesses regenerating the
-paper's figures.
+See ``examples/`` for end-to-end scripts, ``docs/`` for the architecture,
+API and CLI references, and ``benchmarks/`` for the harnesses regenerating
+the paper's figures.
 """
+
+from repro.api import (
+    Backend,
+    Capabilities,
+    DistributionSpec,
+    ExperimentSpec,
+    HorizonSpec,
+    RunResult,
+    ScenarioSpec,
+    SpecError,
+    SystemSpec,
+    WorkloadSpec,
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+    run,
+    select_backend,
+)
 
 from repro.core import (
     BoundKind,
@@ -73,9 +95,25 @@ from repro.policies import JoinShortestQueue, PowerOfD, UniformRandom
 from repro.simulation import ClusterSimulation, simulate_sqd_ctmc
 from repro.simulation.workloads import Workload, poisson_exponential_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "Backend",
+    "Capabilities",
+    "DistributionSpec",
+    "ExperimentSpec",
+    "HorizonSpec",
+    "RunResult",
+    "ScenarioSpec",
+    "SpecError",
+    "SystemSpec",
+    "WorkloadSpec",
+    "available_backends",
+    "backend_capabilities",
+    "get_backend",
+    "register_backend",
+    "run",
+    "select_backend",
     "SQDModel",
     "BoundKind",
     "BoundModelSolution",

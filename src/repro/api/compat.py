@@ -1,0 +1,166 @@
+"""Conversions between the legacy ``(kind, parameters)`` ensemble dialect
+and the spec/backend API.
+
+Until PR 3 the ensemble runner dispatched on a string ``kind`` (``"fleet"``,
+``"gillespie"``, ``"cluster"``, ``"scenario"``) with a raw keyword dict.
+These helpers translate that dialect losslessly into an
+:class:`~repro.api.spec.ExperimentSpec` plus backend name and back, so:
+
+* ``run_ensemble(kind=..., parameters=...)`` and ``EnsembleConfig(kind=...)``
+  keep working (with a ``DeprecationWarning``) on top of the spec path, and
+* JSONL result stores keep writing the legacy ``kind`` / ``parameters``
+  keys next to the new ``spec`` / ``backend`` ones, so readers of old and
+  new stores see one schema.
+
+Bitwise fidelity matters more than elegance here: a legacy call converted
+to a spec must hand the wrapped simulator *exactly* the arguments the old
+worker functions passed, so seeded replications reproduce the pre-refactor
+records bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.spec import ExperimentSpec, HorizonSpec, ScenarioSpec, SpecError, SystemSpec
+
+__all__ = ["LEGACY_KINDS", "spec_from_kind", "kind_from_spec"]
+
+#: The legacy ensemble kinds, mapped to (backend, uses_scenario).
+LEGACY_KINDS: Dict[str, Tuple[str, bool]] = {
+    "cluster": ("cluster", False),
+    "fleet": ("fleet", False),
+    "gillespie": ("ctmc", False),
+    "scenario": ("fleet", True),
+}
+
+
+def _take(parameters: Dict[str, Any], kind: str, *known: str) -> Dict[str, Any]:
+    """Pop the known keys; reject leftovers with one consistent SpecError."""
+    taken = {key: parameters.pop(key) for key in known if key in parameters}
+    if parameters:
+        raise SpecError(
+            f"unknown parameters for kind {kind!r}: {sorted(parameters)} "
+            f"(supported: {sorted(known)})"
+        )
+    return taken
+
+
+def spec_from_kind(
+    kind: str, parameters: Optional[Mapping[str, Any]] = None, seed: int = 12345
+) -> Tuple[ExperimentSpec, str]:
+    """Convert a legacy ``(kind, parameters)`` pair into ``(spec, backend)``."""
+    if kind not in LEGACY_KINDS:
+        raise SpecError(
+            f"kind must be one of {tuple(sorted(LEGACY_KINDS))}, got {kind!r}"
+        )
+    backend, uses_scenario = LEGACY_KINDS[kind]
+    remaining = dict(parameters or {})
+    if "seed" in remaining:
+        raise SpecError(
+            "parameters must not carry 'seed' — per-replication seeds are derived "
+            "from the ensemble seed"
+        )
+
+    scenario = None
+    options: Dict[str, Any] = {}
+    horizon = HorizonSpec()
+    if uses_scenario:
+        if "scenario" not in remaining:
+            raise SpecError("kind 'scenario' requires a 'scenario' parameter")
+        name = remaining.pop("scenario")
+        scenario = ScenarioSpec(name, remaining.pop("scenario_parameters", {}))
+        taken = _take(remaining, kind, "num_servers", "d", "service_rate", "policy", "with_replacement")
+        if "with_replacement" in taken:
+            options["with_replacement"] = taken["with_replacement"]
+    elif kind == "cluster":
+        taken = _take(
+            remaining, kind, "num_servers", "d", "utilization", "service_rate", "num_jobs", "warmup_jobs"
+        )
+        horizon = HorizonSpec(num_jobs=taken.get("num_jobs"))
+        if "warmup_jobs" in taken:
+            options["warmup_jobs"] = int(taken["warmup_jobs"])
+    else:  # fleet / gillespie
+        known = ["num_servers", "d", "utilization", "service_rate", "num_events", "warmup_fraction", "policy"]
+        if kind == "fleet":
+            known += ["start", "with_replacement"]
+        taken = _take(remaining, kind, *known)
+        horizon = HorizonSpec(
+            num_events=taken.get("num_events"),
+            warmup_fraction=taken.get("warmup_fraction", 0.1),
+        )
+        for option in ("start", "with_replacement"):
+            if option in taken:
+                options[option] = taken[option]
+
+    if "num_servers" not in taken:
+        raise SpecError(f"kind {kind!r} requires a 'num_servers' parameter")
+    # Legacy kinds matched their simulators' defaults; mirror them so the
+    # converted spec replays bit-identically (simulate_fleet is the only
+    # legacy simulator with a utilization default).
+    utilization = taken.get("utilization")
+    if utilization is None and kind == "fleet":
+        utilization = 0.9
+    spec = ExperimentSpec(
+        system=SystemSpec(
+            num_servers=int(taken["num_servers"]),
+            d=int(taken.get("d", 2)),
+            utilization=utilization,
+            service_rate=taken.get("service_rate", 1.0),
+        ),
+        policy=taken.get("policy", "sqd"),
+        scenario=scenario,
+        horizon=horizon,
+        seed=seed if seed is not None else 12345,
+        options=options,
+    )
+    return spec, backend
+
+
+def kind_from_spec(spec: ExperimentSpec, backend: str) -> Tuple[Optional[str], Dict[str, Any]]:
+    """The legacy ``(kind, parameters)`` view of a spec/backend pair.
+
+    Returns ``(None, {})`` for configurations the legacy dialect cannot
+    express (it predates non-default workloads) — a wrong-but-plausible
+    view would silently replay a *different* experiment from the JSONL
+    reproduction records.  For expressible specs, defaults are omitted
+    exactly as legacy callers omitted them, so converting back through
+    :func:`spec_from_kind` yields an equivalent spec.
+    """
+    if not spec.workload.is_default:
+        return None, {}
+    system = spec.system
+    parameters: Dict[str, Any] = {"num_servers": system.num_servers}
+    if spec.scenario is not None:
+        kind = "scenario"
+        parameters["scenario"] = spec.scenario.name
+        if spec.scenario.params:
+            parameters["scenario_parameters"] = dict(spec.scenario.params)
+        parameters["d"] = system.d
+        parameters["policy"] = spec.policy
+        if "with_replacement" in spec.options:
+            parameters["with_replacement"] = spec.options["with_replacement"]
+    elif backend == "cluster":
+        kind = "cluster"
+        parameters.update({"d": system.d, "utilization": system.utilization})
+        if spec.horizon.num_jobs is not None:
+            parameters["num_jobs"] = spec.horizon.num_jobs
+        if "warmup_jobs" in spec.options:
+            parameters["warmup_jobs"] = spec.options["warmup_jobs"]
+    else:
+        kind = "gillespie" if backend == "ctmc" else "fleet"
+        parameters.update({"d": system.d, "utilization": system.utilization})
+        if spec.horizon.num_events is not None:
+            parameters["num_events"] = spec.horizon.num_events
+        if spec.horizon.warmup_fraction != 0.1:
+            parameters["warmup_fraction"] = spec.horizon.warmup_fraction
+        if kind == "fleet":
+            parameters["policy"] = spec.policy
+            for option in ("start", "with_replacement"):
+                if option in spec.options:
+                    parameters[option] = spec.options[option]
+        elif spec.policy != "sqd":
+            parameters["policy"] = spec.policy
+    if system.service_rate != 1.0:
+        parameters["service_rate"] = system.service_rate
+    return kind, parameters

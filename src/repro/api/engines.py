@@ -1,0 +1,451 @@
+"""The six registered backends wrapping every engine in the repository.
+
+Each adapter translates an :class:`~repro.api.spec.ExperimentSpec` into the
+wrapped engine's native arguments and returns a flat metrics mapping whose
+headline key is always ``"mean_delay"`` (mean sojourn time, the paper's
+"average delay").  The stochastic adapters (``ctmc``, ``cluster``,
+``fleet``) reproduce the exact call signatures of the pre-spec ensemble
+workers, so seeded results remain bitwise identical across the refactor.
+
+=============  ======================================================  ========
+backend        wrapped engine                                          answer
+=============  ======================================================  ========
+``qbd_bounds``  :func:`repro.core.analysis.analyze_sqd`                bounds
+``exact``       :func:`repro.core.exact.solve_exact_truncated`         exact
+``ctmc``        :func:`repro.simulation.gillespie.simulate_sqd_ctmc`   estimate
+``cluster``     :class:`repro.simulation.cluster.ClusterSimulation`    estimate
+``fleet``       :func:`repro.fleet.engine.simulate_fleet`              estimate
+``meanfield``   :func:`repro.fleet.meanfield.meanfield_delay`          limit
+=============  ======================================================  ========
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.api.backends import Capabilities, register_backend
+from repro.api.spec import DistributionSpec, ExperimentSpec, SpecError
+
+__all__ = [
+    "QBDBoundsBackend",
+    "ExactBackend",
+    "CTMCBackend",
+    "ClusterBackend",
+    "FleetBackend",
+    "MeanFieldBackend",
+]
+
+#: Largest QBD repeating-block size ``C(N+T-1, T)`` the bounds backend
+#: accepts; beyond this the matrix-geometric solve takes minutes.
+MAX_QBD_BLOCK = 3_000
+
+
+#: Every option name some backend understands.  A spec may carry options for
+#: backends other than the one running it — that is the point of "one spec,
+#: many engines" (e.g. ``threshold`` rides along to the simulators, which
+#: ignore it) — but a name no backend knows is a typo and fails everywhere.
+KNOWN_OPTIONS = {
+    "threshold": "qbd_bounds",
+    "buffer_size": "exact",
+    "start": "fleet",
+    "with_replacement": "fleet",
+    "warmup_jobs": "cluster",
+}
+
+
+def _pop_options(spec: ExperimentSpec, *relevant: str) -> Dict[str, Any]:
+    """The options this backend acts on; typo'd option names fail loudly."""
+    unknown = set(spec.options) - set(KNOWN_OPTIONS)
+    if unknown:
+        raise SpecError(
+            f"unknown spec options: {sorted(unknown)} "
+            f"(known options: {sorted(KNOWN_OPTIONS)})"
+        )
+    return {name: spec.options[name] for name in relevant if name in spec.options}
+
+
+def _queue_policy(spec: ExperimentSpec):
+    """Queue-length dispatching policy object for the CTMC simulator."""
+    from repro.policies import JoinShortestQueue, PowerOfD, UniformRandom
+
+    if spec.policy == "sqd":
+        return None  # simulator default: PowerOfD(d)
+    if spec.policy == "jsq":
+        return JoinShortestQueue()
+    return UniformRandom()
+
+
+def _service_distribution(dist: DistributionSpec, service_rate: float):
+    """Instantiate a service distribution with mean ``1 / service_rate``."""
+    from repro.markov.service_distributions import (
+        DeterministicService,
+        ErlangService,
+        ExponentialService,
+        HyperexponentialService,
+    )
+
+    mean = 1.0 / service_rate
+    if dist.name == "exponential":
+        return ExponentialService(rate=service_rate)
+    if dist.name == "erlang":
+        stages = dist.params.get("stages", 2)
+        return ErlangService(stages=stages, mean=mean)
+    if dist.name == "deterministic":
+        return DeterministicService(value=mean)
+    return _hyperexponential(dist, mean, f"mean service time 1/mu = {mean:.6g}")
+
+
+def _hyperexponential(dist: DistributionSpec, mean: float, what: str):
+    """Hyperexponential mixture with the required mean.
+
+    Either a two-moment fit (``{"scv": x}``, balanced two-phase with squared
+    coefficient of variation ``x >= 1``) or an explicit mixture
+    (``{"probabilities": [...], "rates": [...]}``) whose mean must match —
+    otherwise the spec's ``utilization`` would silently stop meaning
+    ``rho = lambda / mu``.
+    """
+    from repro.markov.service_distributions import HyperexponentialService
+
+    if "scv" in dist.params:
+        return HyperexponentialService.balanced_two_phase(mean=mean, scv=dist.params["scv"])
+    probabilities = dist.params.get("probabilities")
+    rates = dist.params.get("rates")
+    if probabilities is None or rates is None:
+        raise SpecError(
+            "hyperexponential distributions need either an 'scv' param or explicit "
+            "'probabilities' and 'rates'"
+        )
+    built = HyperexponentialService(list(probabilities), list(rates))
+    if not math.isclose(built.mean, mean, rel_tol=1e-9):
+        raise SpecError(
+            f"hyperexponential mixture mean {built.mean:.6g} does not match the spec's {what}"
+        )
+    return built
+
+
+def _arrival_process(dist: DistributionSpec, total_rate: float):
+    """Instantiate an arrival process with aggregate rate ``total_rate``."""
+    from repro.markov.arrival_processes import PoissonArrivals, RenewalArrivals
+    from repro.markov.service_distributions import ErlangService
+
+    if dist.name == "poisson":
+        return PoissonArrivals(total_rate)
+    if dist.name == "erlang":
+        stages = dist.params.get("stages", 2)
+        return RenewalArrivals(ErlangService(stages=stages, mean=1.0 / total_rate))
+    return RenewalArrivals(
+        _hyperexponential(
+            dist, 1.0 / total_rate, f"mean interarrival time 1/(rho mu N) = {1.0 / total_rate:.6g}"
+        )
+    )
+
+
+@dataclass(frozen=True)
+class _BoundsCapabilities(Capabilities):
+    """Adds the QBD block-size tractability gate to the generic checks."""
+
+    def why_unsupported(self, spec: ExperimentSpec) -> Optional[str]:
+        reason = super().why_unsupported(spec)
+        if reason is not None:
+            return reason
+        threshold = spec.option("threshold", 3)
+        block = math.comb(spec.system.num_servers + threshold - 1, threshold)
+        if block > MAX_QBD_BLOCK:
+            return (
+                f"QBD block size C(N+T-1, T) = {block} exceeds {MAX_QBD_BLOCK} "
+                f"(N={spec.system.num_servers}, T={threshold}); lower the "
+                "'threshold' option or the pool size"
+            )
+        return None
+
+
+@register_backend("qbd_bounds")
+class QBDBoundsBackend:
+    """The paper's finite-regime bracket: Theorems 1/3 lower and upper bounds.
+
+    The reported ``mean_delay`` is the Theorem 3 lower bound (the estimate
+    the paper calls "remarkably accurate"); the extras carry the full
+    bracket plus the asymptotic baseline.  Options: ``threshold`` (the
+    imbalance threshold ``T``, default 3).
+    """
+
+    capabilities = _BoundsCapabilities(
+        description="QBD lower/upper delay bounds (Theorems 1 and 3)",
+        policies=("sqd",),
+        answer="bounds",
+        deterministic=True,
+        auto_rank=None,
+    )
+
+    def run_once(self, spec: ExperimentSpec, seed: Optional[int]) -> Dict[str, Any]:
+        from repro.core.analysis import analyze_sqd
+
+        options = _pop_options(spec, "threshold")
+        analysis = analyze_sqd(
+            num_servers=spec.system.num_servers,
+            d=spec.system.d,
+            utilization=spec.system.utilization,
+            threshold=options.get("threshold", 3),
+            service_rate=spec.system.service_rate,
+        )
+        upper = analysis.upper_delay
+        return {
+            "mean_delay": analysis.lower_delay,
+            "lower_delay": analysis.lower_delay,
+            "upper_delay": math.inf if upper is None else upper,
+            "upper_bound_unstable": analysis.upper_bound_unstable,
+            "asymptotic_delay": analysis.asymptotic_delay,
+            "threshold": options.get("threshold", 3),
+        }
+
+
+@register_backend("exact")
+class ExactBackend:
+    """Numerically exact solution of the buffer-truncated SQ(d) chain.
+
+    Tractable only for tiny pools (the ordered state space has
+    ``C(N + B, N)`` states).  Options: ``buffer_size`` (per-server
+    head-room ``B``, default 30).
+    """
+
+    capabilities = Capabilities(
+        description="exact stationary solution of the truncated chain",
+        policies=("sqd",),
+        max_servers=3,
+        answer="exact",
+        deterministic=True,
+        auto_rank=0,
+    )
+
+    def run_once(self, spec: ExperimentSpec, seed: Optional[int]) -> Dict[str, Any]:
+        from repro.core.exact import solve_exact_truncated
+        from repro.core.model import SQDModel
+
+        options = _pop_options(spec, "buffer_size")
+        model = SQDModel(
+            num_servers=spec.system.num_servers,
+            d=spec.system.d,
+            utilization=spec.system.utilization,
+            service_rate=spec.system.service_rate,
+        )
+        solution = solve_exact_truncated(model, buffer_size=options.get("buffer_size", 30))
+        return {
+            "mean_delay": solution.mean_delay,
+            "truncation_mass": solution.truncation_mass,
+            "num_states": float(solution.num_states),
+        }
+
+
+@register_backend("ctmc")
+class CTMCBackend:
+    """Per-server queue-length CTMC simulation (Gillespie)."""
+
+    capabilities = Capabilities(
+        description="per-server CTMC simulation (Gillespie)",
+        policies=("sqd", "jsq", "random"),
+        max_servers=20_000,
+        answer="estimate",
+        auto_rank=2,
+    )
+
+    DEFAULT_EVENTS = 200_000
+
+    def run_once(self, spec: ExperimentSpec, seed: Optional[int]) -> Dict[str, Any]:
+        from repro.simulation.gillespie import simulate_sqd_ctmc
+
+        _pop_options(spec)
+        result = simulate_sqd_ctmc(
+            num_servers=spec.system.num_servers,
+            d=spec.system.d,
+            utilization=spec.system.utilization,
+            service_rate=spec.system.service_rate,
+            num_events=spec.horizon.num_events or self.DEFAULT_EVENTS,
+            warmup_fraction=spec.horizon.warmup_fraction,
+            seed=seed,
+            policy=_queue_policy(spec),
+        )
+        return {
+            "mean_delay": result.mean_sojourn_time,
+            "mean_waiting_time": result.mean_waiting_time,
+            "mean_jobs_in_system": result.mean_jobs_in_system,
+            "mean_queue_imbalance": result.mean_queue_imbalance,
+            "simulated_time": result.simulated_time,
+            "num_events": float(result.num_events),
+        }
+
+
+@register_backend("cluster")
+class ClusterBackend:
+    """Job-level discrete-event simulation — the distribution-agnostic engine.
+
+    The only backend that runs non-exponential service, renewal arrivals
+    and the work-aware policies.  Options: ``warmup_jobs`` (jobs discarded
+    before measurement; default one tenth of the job count).
+    """
+
+    capabilities = Capabilities(
+        description="job-level discrete-event simulation",
+        policies=("sqd", "jsq", "random", "round_robin", "jiq", "least_work_left"),
+        arrivals=("poisson", "erlang", "hyperexponential"),
+        services=("exponential", "erlang", "hyperexponential", "deterministic"),
+        max_servers=5_000,
+        answer="estimate",
+        auto_rank=3,
+    )
+
+    DEFAULT_JOBS = 50_000
+
+    def _workload(self, spec: ExperimentSpec):
+        from repro.simulation.workloads import Workload, poisson_exponential_workload
+
+        system = spec.system
+        if spec.workload.is_default:
+            return poisson_exponential_workload(
+                num_servers=system.num_servers,
+                utilization=system.utilization,
+                service_rate=system.service_rate,
+            )
+        total_rate = system.utilization * system.service_rate * system.num_servers
+        return Workload(
+            num_servers=system.num_servers,
+            arrival_process=_arrival_process(spec.workload.arrival, total_rate),
+            service_distribution=_service_distribution(spec.workload.service, system.service_rate),
+        )
+
+    def _policy(self, spec: ExperimentSpec):
+        from repro.policies import (
+            JoinIdleQueue,
+            JoinShortestQueue,
+            LeastWorkLeft,
+            PowerOfD,
+            RoundRobin,
+            UniformRandom,
+        )
+
+        d = spec.system.d
+        return {
+            "sqd": lambda: PowerOfD(d),
+            "jsq": JoinShortestQueue,
+            "random": UniformRandom,
+            "round_robin": RoundRobin,
+            "jiq": JoinIdleQueue,
+            "least_work_left": lambda: LeastWorkLeft(d),
+        }[spec.policy]()
+
+    def run_once(self, spec: ExperimentSpec, seed: Optional[int]) -> Dict[str, Any]:
+        from repro.simulation.cluster import ClusterSimulation
+
+        options = _pop_options(spec, "warmup_jobs")
+        num_jobs = spec.horizon.num_jobs or self.DEFAULT_JOBS
+        warmup_jobs = options.get("warmup_jobs", num_jobs // 10)
+        simulation = ClusterSimulation(
+            self._workload(spec), self._policy(spec), seed=seed, warmup_jobs=warmup_jobs
+        )
+        result = simulation.run(num_jobs)
+        return {
+            "mean_delay": result.mean_sojourn_time,
+            "mean_waiting_time": result.mean_waiting_time,
+            "simulated_time": result.simulated_time,
+            "completed_jobs": float(result.completed_jobs),
+        }
+
+
+@register_backend("fleet")
+class FleetBackend:
+    """Occupancy-vector Gillespie engine — N up to 10^6, plus scenarios.
+
+    Options: ``start`` (``"stationary"`` / ``"empty"``) and
+    ``with_replacement`` (poll with replacement) for stationary runs.
+    """
+
+    capabilities = Capabilities(
+        description="occupancy-based fleet simulation (large N, scenarios)",
+        policies=("sqd", "jsq", "random"),
+        supports_scenarios=True,
+        answer="estimate",
+        auto_rank=1,
+    )
+
+    DEFAULT_EVENTS = 500_000
+
+    def run_once(self, spec: ExperimentSpec, seed: Optional[int]) -> Dict[str, Any]:
+        from repro.fleet.engine import run_scenario, simulate_fleet
+        from repro.fleet.scenarios import get_scenario
+
+        if spec.scenario is not None:
+            options = _pop_options(spec, "with_replacement")
+            scenario = get_scenario(spec.scenario.name, **dict(spec.scenario.params))
+            result = run_scenario(
+                scenario,
+                num_servers=spec.system.num_servers,
+                d=spec.system.d,
+                service_rate=spec.system.service_rate,
+                policy=spec.policy,
+                seed=seed,
+                with_replacement=options.get("with_replacement", False),
+            )
+            return {
+                "mean_delay": result.overall_mean_delay,
+                "simulated_time": result.total_time,
+                "num_events": float(result.total_events),
+            }
+
+        options = _pop_options(spec, "start", "with_replacement")
+        result = simulate_fleet(
+            num_servers=spec.system.num_servers,
+            d=spec.system.d,
+            utilization=spec.system.utilization,
+            service_rate=spec.system.service_rate,
+            num_events=spec.horizon.num_events or self.DEFAULT_EVENTS,
+            warmup_fraction=spec.horizon.warmup_fraction,
+            seed=seed,
+            policy=spec.policy,
+            start=options.get("start", "stationary"),
+            with_replacement=options.get("with_replacement", False),
+        )
+        return {
+            "mean_delay": result.mean_sojourn_time,
+            "mean_waiting_time": result.mean_waiting_time,
+            "mean_queue_length": result.mean_queue_length,
+            "mean_jobs_in_system": result.mean_jobs_in_system,
+            "simulated_time": result.simulated_time,
+            "num_events": float(result.num_events),
+            "events_per_second": result.events_per_second,
+        }
+
+
+@register_backend("meanfield")
+class MeanFieldBackend:
+    """The ``N -> infinity`` mean-field limit (power-of-d fixed point).
+
+    Never chosen by ``backend="auto"`` — it answers a different question
+    (the limit, not the finite system) — but invaluable as the scale
+    anchor every finite-``N`` estimate converges towards.
+    """
+
+    capabilities = Capabilities(
+        description="mean-field (N -> infinity) fixed-point delay",
+        policies=("sqd", "jsq", "random"),
+        answer="limit",
+        deterministic=True,
+        auto_rank=None,
+    )
+
+    def run_once(self, spec: ExperimentSpec, seed: Optional[int]) -> Dict[str, Any]:
+        from repro.fleet.meanfield import meanfield_delay, meanfield_mean_queue_length
+
+        _pop_options(spec)
+        utilization = spec.system.utilization
+        # Under JSQ queueing vanishes in the limit: delay = bare service time.
+        if spec.policy == "jsq":
+            delay_units, queue = 1.0, utilization
+        else:
+            d = 1 if spec.policy == "random" else spec.system.d
+            delay_units = meanfield_delay(utilization, d)
+            queue = meanfield_mean_queue_length(utilization, d)
+        return {
+            "mean_delay": delay_units / spec.system.service_rate,
+            "mean_queue_length": queue,
+        }

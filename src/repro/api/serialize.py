@@ -1,0 +1,55 @@
+"""Shared result-serialization helpers for the API and the CLI.
+
+One JSON dialect for every exported result: numpy scalars and arrays become
+plain numbers and lists, non-finite floats become the strings ``"inf"`` /
+``"-inf"`` / ``"nan"`` (JSON has no spelling for them, and bare ``NaN``
+tokens break strict parsers), mappings keep sorted keys.  Both
+:meth:`repro.api.runner.RunResult.to_json` and the CLI ``--json`` exports
+(``analyze``, ``fleet``, ``run``) route through :func:`jsonable` /
+:func:`write_json`, so their files share one schema style.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+__all__ = ["jsonable", "dumps", "write_json"]
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-representable types."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(item) for item in value]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return jsonable(value.tolist())
+    if hasattr(value, "item"):  # zero-dimensional numpy scalars
+        return jsonable(value.item())
+    if hasattr(value, "to_dict"):  # spec dataclasses and friends
+        return jsonable(value.to_dict())
+    return str(value)
+
+
+def dumps(payload: Any, indent: int = 2) -> str:
+    """Serialize a payload with the shared conversions and sorted keys."""
+    return json.dumps(jsonable(payload), sort_keys=True, indent=indent)
+
+
+def write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> Path:
+    """Write a payload as JSON; returns the path for ``print(f"wrote {...}")``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dumps(payload, indent=indent) + "\n", encoding="utf-8")
+    return target

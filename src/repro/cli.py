@@ -3,6 +3,8 @@
 Installed as the ``repro-lb`` console script; also runnable as
 ``python -m repro.cli``.  Subcommands:
 
+* ``run``       — execute a JSON experiment spec on any registered backend,
+* ``backends``  — list the registered backends and their capabilities,
 * ``analyze``   — bounds / asymptotics / optional simulation for one configuration,
 * ``figure9``   — regenerate one panel of the paper's Figure 9,
 * ``figure10``  — regenerate one panel of the paper's Figure 10,
@@ -10,6 +12,10 @@ Installed as the ``repro-lb`` console script; also runnable as
 * ``fleet``     — occupancy-based large-N simulation vs the mean-field limit,
 * ``ensemble``  — parallel replications of a fleet/scenario run with
   confidence intervals and optional JSONL persistence.
+
+``run``, ``analyze`` and ``fleet`` all accept ``--json <path>`` and export
+through one shared serialization helper (:mod:`repro.api.serialize`), so
+every machine-readable result file follows the same dialect.
 
 Every line of simulation output is a deterministic function of the seed;
 wall-clock diagnostics (events/s, elapsed seconds) are printed on separate
@@ -22,12 +28,20 @@ import argparse
 import math
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.api import (
+    ExperimentSpec,
+    SpecError,
+    backend_capabilities,
+    run,
+    write_json,
+)
 from repro.core.analysis import analyze_sqd
 from repro.core.asymptotic import asymptotic_delay, relative_error_percent
-from repro.ensemble.results import ResultStore
-from repro.ensemble.runner import run_ensemble
+from repro.ensemble.results import ResultStore, provenance
+from repro.ensemble.runner import EnsembleConfig, run_ensemble
 from repro.experiments.figure9 import Figure9Config, run_figure9
 from repro.experiments.figure10 import panel_config, run_figure10
 from repro.experiments.runner import SweepConfig, run_sweep
@@ -44,6 +58,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    run_parser = subparsers.add_parser(
+        "run", help="execute a JSON experiment spec on any registered backend"
+    )
+    run_parser.add_argument("--spec", type=str, required=True,
+                            help="path to an ExperimentSpec JSON file (see docs/api.md)")
+    run_parser.add_argument("--backend", type=str, default="auto",
+                            help="backend name, or 'auto' for the cheapest capable engine")
+    run_parser.add_argument("--replications", "-K", type=int, default=None,
+                            help="independent replications (>= 2 adds confidence intervals)")
+    run_parser.add_argument("--workers", "-w", type=int, default=1, help="worker processes")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the spec's seed for this run")
+    run_parser.add_argument("--confidence", type=float, default=0.95, help="two-sided CI level")
+    run_parser.add_argument("--json", type=str, default=None,
+                            help="write the full RunResult to this JSON file")
+
+    subparsers.add_parser("backends", help="list registered backends and their capabilities")
+
     analyze = subparsers.add_parser("analyze", help="bounds and baselines for one configuration")
     analyze.add_argument("--servers", "-N", type=int, required=True, help="number of servers N")
     analyze.add_argument("--choices", "-d", type=int, default=2, help="number of polled servers d")
@@ -53,6 +85,8 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--events", type=int, default=200_000, help="simulated events when --simulate is given")
     analyze.add_argument("--exact", action="store_true", help="also solve the truncated exact chain (small N only)")
     analyze.add_argument("--seed", type=int, default=12345, help="simulation seed for reproducible runs")
+    analyze.add_argument("--json", type=str, default=None,
+                         help="also write the analysis to this JSON file")
 
     figure9 = subparsers.add_parser("figure9", help="relative error of the asymptotic delay vs simulation")
     figure9.add_argument("--utilization", "-u", type=float, default=0.95, help="per-server load rho")
@@ -94,6 +128,8 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--cold-start", action="store_true",
                        help="start from an empty cluster instead of the mean-field profile")
     fleet.add_argument("--seed", type=int, default=12345, help="simulation seed for reproducible runs")
+    fleet.add_argument("--json", type=str, default=None,
+                       help="also write the fleet result to this JSON file")
 
     ensemble = subparsers.add_parser(
         "ensemble",
@@ -120,6 +156,55 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="append every replication record to this JSONL store")
 
     return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec_path = Path(args.spec)
+    if not spec_path.exists():
+        raise SystemExit(f"repro-lb run: spec file not found: {spec_path}")
+    try:
+        spec = ExperimentSpec.from_json(spec_path.read_text(encoding="utf-8"))
+        result = run(
+            spec,
+            backend=args.backend,
+            replications=args.replications,
+            workers=args.workers,
+            confidence=args.confidence,
+            seed=args.seed,
+        )
+    except SpecError as error:
+        raise SystemExit(f"repro-lb run: {error}")
+    print(result.as_table())
+    print(f"mean delay {result}")
+    if args.json:
+        print(f"wrote {result.write_json(args.json)}")
+    print(f"wall-clock: {result.wall_seconds:.2f}s on {args.workers} worker(s)")
+    return 0
+
+
+def _command_backends(args: argparse.Namespace) -> int:
+    rows = []
+    for name, capabilities in backend_capabilities().items():
+        n_range = f"{capabilities.min_servers}..{capabilities.max_servers or 'inf'}"
+        rows.append(
+            [
+                name,
+                capabilities.answer,
+                "yes" if capabilities.deterministic else "no",
+                "yes" if capabilities.supports_scenarios else "no",
+                n_range,
+                " ".join(capabilities.policies),
+                " ".join(capabilities.services),
+            ]
+        )
+    print(
+        format_table(
+            ["backend", "answer", "deterministic", "scenarios", "N range", "policies", "services"],
+            rows,
+            title="registered backends (auto picks the cheapest capable estimator)",
+        )
+    )
+    return 0
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
@@ -149,6 +234,22 @@ def _command_analyze(args: argparse.Namespace) -> int:
         "mean delay (sojourn time)"
     )
     print(format_table(["method", "mean delay"], rows, title=title))
+    if args.json:
+        payload = {
+            "command": "analyze",
+            "parameters": {
+                "num_servers": args.servers,
+                "d": args.choices,
+                "utilization": args.utilization,
+                "threshold": args.threshold,
+                "seed": args.seed if args.simulate else None,
+                "simulation_events": args.events if args.simulate else None,
+            },
+            "results": analysis.summary_row(),
+            "upper_bound_unstable": analysis.upper_bound_unstable,
+            "provenance": provenance(),
+        }
+        print(f"wrote {write_json(args.json, payload)}")
     return 0
 
 
@@ -228,6 +329,35 @@ def _command_fleet(args: argparse.Namespace) -> int:
             f"overall mean delay {result.overall_mean_delay:.4f} over "
             f"{result.total_events} events ({result.total_time:.1f} simulated time units)"
         )
+        if args.json:
+            payload = {
+                "command": "fleet",
+                "parameters": {
+                    "num_servers": args.servers,
+                    "d": args.choices,
+                    "policy": args.policy,
+                    "scenario": args.scenario,
+                    "seed": args.seed,
+                },
+                "results": {
+                    "mean_delay": result.overall_mean_delay,
+                    "total_events": result.total_events,
+                    "total_time": result.total_time,
+                    "phases": [
+                        {
+                            "label": label,
+                            "utilization": phase.utilization,
+                            "num_servers": phase.num_servers,
+                            "mean_delay": phase.mean_sojourn_time,
+                            "mean_queue_length": phase.mean_queue_length,
+                            "num_events": phase.num_events,
+                        }
+                        for label, phase in zip(result.labels, result.phases)
+                    ],
+                },
+                "provenance": provenance(),
+            }
+            print(f"wrote {write_json(args.json, payload)}")
         return 0
 
     if args.utilization is None:
@@ -266,6 +396,30 @@ def _command_fleet(args: argparse.Namespace) -> int:
         f"mean queue length {result.mean_queue_length:.4f} jobs/server over "
         f"{result.simulated_time:.2f} simulated time units"
     )
+    if args.json:
+        payload = {
+            "command": "fleet",
+            "parameters": {
+                "num_servers": args.servers,
+                "d": result.d,
+                "utilization": args.utilization,
+                "policy": args.policy,
+                "num_events": num_events,
+                "cold_start": args.cold_start,
+                "seed": args.seed,
+            },
+            "results": {
+                "mean_delay": result.mean_delay,
+                "mean_waiting_time": result.mean_waiting_time,
+                "mean_queue_length": result.mean_queue_length,
+                "mean_jobs_in_system": result.mean_jobs_in_system,
+                "simulated_time": result.simulated_time,
+                "num_events": result.num_events,
+                "meanfield_delay": meanfield,
+            },
+            "provenance": provenance(),
+        }
+        print(f"wrote {write_json(args.json, payload)}")
     print(f"wall-clock: {result.wall_seconds:.2f}s ({result.events_per_second:,.0f} events/s)")
     return 0
 
@@ -285,39 +439,43 @@ def _command_ensemble(args: argparse.Namespace) -> int:
                 f"repro-lb ensemble: {', '.join(ignored)} cannot be combined with --scenario "
                 "(the scenario defines its own load and duration)"
             )
-        kind = "scenario"
-        parameters = {
-            "scenario": args.scenario,
-            "num_servers": args.servers,
-            "d": args.choices,
-            "policy": args.policy,
-        }
+        stationary = False
+        spec = ExperimentSpec.create(
+            num_servers=args.servers,
+            d=args.choices,
+            policy=args.policy,
+            scenario=args.scenario,
+            seed=args.seed if args.seed is not None else 12345,
+        )
     else:
         if args.utilization is None:
             raise SystemExit("repro-lb ensemble: --utilization is required for stationary runs")
-        kind = "fleet"
-        parameters = {
-            "num_servers": args.servers,
-            "d": args.choices,
-            "utilization": args.utilization,
-            "num_events": args.events if args.events is not None else max(400_000, 10 * args.servers),
-            "policy": args.policy,
-        }
+        stationary = True
+        spec = ExperimentSpec.create(
+            num_servers=args.servers,
+            d=args.choices,
+            utilization=args.utilization,
+            num_events=args.events if args.events is not None else max(400_000, 10 * args.servers),
+            policy=args.policy,
+            seed=args.seed if args.seed is not None else 12345,
+        )
 
     result = run_ensemble(
-        kind,
-        parameters,
-        replications=args.replications,
-        workers=args.workers,
-        seed=args.seed,
-        confidence=args.confidence,
-        target_relative_half_width=args.target_precision,
-        max_replications=args.max_replications,
+        config=EnsembleConfig(
+            spec=spec,
+            backend="fleet",
+            replications=args.replications,
+            workers=args.workers,
+            seed=args.seed,
+            confidence=args.confidence,
+            target_relative_half_width=args.target_precision,
+            max_replications=args.max_replications,
+        )
     )
     print(result.as_table())
     delay = result.delay
     print(f"mean delay {delay}")
-    if kind == "fleet" and args.policy in ("sqd", "random"):
+    if stationary and args.policy in ("sqd", "random"):
         d = 1 if args.policy == "random" else args.choices
         limit = meanfield_delay(args.utilization, d)
         low, high = delay.confidence_interval()
@@ -348,6 +506,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "run": _command_run,
+        "backends": _command_backends,
         "analyze": _command_analyze,
         "figure9": _command_figure9,
         "figure10": _command_figure10,

@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.spec import ExperimentSpec, ScenarioSpec, SystemSpec
 from repro.ensemble.runner import (
     EnsembleConfig,
     EnsembleResult,
@@ -93,7 +94,12 @@ class GridConfig:
             check_integer("d", d, minimum=1)
 
     def points(self) -> List[Dict[str, Any]]:
-        """Expand the grid into per-point simulator configurations."""
+        """Expand the grid into per-point experiment specs.
+
+        Every point is ``{"spec": ExperimentSpec, "backend": str,
+        "labels": {...}}``; both stationary and scenario points run on the
+        occupancy fleet backend.
+        """
         expanded: List[Dict[str, Any]] = []
         if self.scenarios:
             axes = itertools.product(self.server_counts, self.choices, self.scenarios)
@@ -102,13 +108,12 @@ class GridConfig:
                     continue
                 expanded.append(
                     {
-                        "kind": "scenario",
-                        "parameters": {
-                            "scenario": scenario,
-                            "num_servers": n,
-                            "d": d,
-                            "policy": self.policy,
-                        },
+                        "spec": ExperimentSpec(
+                            system=SystemSpec(num_servers=n, d=d),
+                            policy=self.policy,
+                            scenario=ScenarioSpec(scenario),
+                        ),
+                        "backend": "fleet",
                         "labels": {"N": n, "d": d, "scenario": scenario},
                     }
                 )
@@ -119,14 +124,14 @@ class GridConfig:
                 continue
             expanded.append(
                 {
-                    "kind": "fleet",
-                    "parameters": {
-                        "num_servers": n,
-                        "d": d,
-                        "utilization": utilization,
-                        "num_events": self.num_events,
-                        "policy": self.policy,
-                    },
+                    "spec": ExperimentSpec.create(
+                        num_servers=n,
+                        d=d,
+                        utilization=utilization,
+                        num_events=self.num_events,
+                        policy=self.policy,
+                    ),
+                    "backend": "fleet",
                     "labels": {"N": n, "d": d, "utilization": utilization},
                 }
             )
@@ -211,7 +216,7 @@ def run_grid(config: GridConfig) -> GridResult:
         for replication, seed in enumerate(
             spawn_seeds(point_seeds[point_index], config.replications)
         ):
-            tasks.append((point["kind"], dict(point["parameters"]), seed, replication))
+            tasks.append((point["backend"], point["spec"], seed, replication))
 
     with worker_pool(config.workers) as pool:
         if pool is not None:
@@ -224,12 +229,14 @@ def run_grid(config: GridConfig) -> GridResult:
         chunk = records[
             point_index * config.replications : (point_index + 1) * config.replications
         ]
+        point_seed = point_seeds[point_index]
+        spec = point["spec"] if point_seed is None else point["spec"].with_seed(point_seed)
         ensemble_config = EnsembleConfig(
-            kind=point["kind"],
-            parameters=dict(point["parameters"]),
+            spec=spec,
+            backend=point["backend"],
             replications=config.replications,
             workers=config.workers,
-            seed=point_seeds[point_index],
+            seed=point_seed,
             confidence=config.confidence,
         )
         grid_points.append(

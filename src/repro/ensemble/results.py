@@ -120,18 +120,24 @@ class ResultStore:
         """Persist every replication of an ensemble; returns the line count.
 
         Each line carries the replication record itself plus the ensemble
-        configuration (kind, simulator parameters, ensemble seed,
+        configuration (the experiment spec and backend, the legacy
+        kind/parameters view for pre-spec readers, ensemble seed,
         confidence) and shared provenance, so any single line is enough to
         reproduce its replication exactly.
         """
         config = result.config
         shared = {
-            "kind": config.kind,
-            "parameters": dict(config.parameters),
+            "spec": config.spec.to_dict(),
+            "backend": config.backend,
             "ensemble_seed": config.seed,
             "confidence": config.confidence,
             "provenance": provenance(),
         }
+        if config.kind is not None:
+            # The pre-spec view, only when it reproduces the experiment
+            # faithfully (non-default workloads have no legacy spelling).
+            shared["kind"] = config.kind
+            shared["parameters"] = dict(config.parameters)
         if labels:
             shared["labels"] = dict(labels)
         lines = []

@@ -1,13 +1,17 @@
-"""Parallel multi-replication runner for every simulator in the package.
+"""Parallel multi-replication runner for every stochastic backend.
 
 One *ensemble* is ``K`` statistically independent replications of the same
-simulation configuration, fanned out over a pool of worker processes and
-summarized by across-replication Student-t confidence intervals
-(:mod:`repro.ensemble.stats`).  The runner is what turns a single stochastic
-point estimate ("the mean delay came out as 2.31") into a defensible one
-("2.31 ± 0.04 at 95% confidence over 8 replications") — the form in which a
-finite-``N`` estimate can be compared against the paper's bounds and the
-mean-field limit.
+experiment spec on the same backend, fanned out over a pool of worker
+processes and summarized by across-replication Student-t confidence
+intervals (:mod:`repro.ensemble.stats`).  The runner is what turns a single
+stochastic point estimate ("the mean delay came out as 2.31") into a
+defensible one ("2.31 ± 0.04 at 95% confidence over 8 replications") — the
+form in which a finite-``N`` estimate can be compared against the paper's
+bounds and the mean-field limit.
+
+Since PR 3 the configuration is an :class:`repro.api.spec.ExperimentSpec`
+plus a backend name; the pre-spec ``(kind, parameters)`` dialect keeps
+working through :mod:`repro.api.compat` with a ``DeprecationWarning``.
 
 Determinism is a hard contract here, not a convenience:
 
@@ -20,8 +24,8 @@ Determinism is a hard contract here, not a convenience:
   different core counts.
 
 Worker processes execute a module-level function (picklable under every
-``multiprocessing`` start method) and receive only plain data — the
-configuration mapping and an integer seed — never live simulator objects.
+``multiprocessing`` start method) and receive only plain data — the frozen
+spec, the backend name and an integer seed — never live simulator objects.
 """
 
 from __future__ import annotations
@@ -29,9 +33,13 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.backends import get_backend, require_capable, select_backend
+from repro.api.compat import LEGACY_KINDS, kind_from_spec, spec_from_kind
+from repro.api.spec import ExperimentSpec, SpecError
 from repro.ensemble.stats import ReplicationStatistics
 from repro.utils.seeding import spawn_seeds
 from repro.utils.tables import format_table
@@ -50,91 +58,18 @@ __all__ = [
 #: not depend on the machine's core count.
 DEFAULT_BATCH_SIZE = 4
 
+#: The legacy simulation kinds (deprecated spelling of the backends).
+SIMULATION_KINDS: Tuple[str, ...] = tuple(sorted(LEGACY_KINDS))
+
 
 # --------------------------------------------------------------------- #
-# Worker side: one replication = (kind, parameters, seed) -> metrics dict
+# Worker side: one replication = (backend, spec, seed) -> metrics dict
 # --------------------------------------------------------------------- #
-def _replicate_fleet(parameters: Mapping[str, Any], seed: int) -> Dict[str, float]:
-    from repro.fleet.engine import simulate_fleet
-
-    result = simulate_fleet(seed=seed, **parameters)
-    return {
-        "mean_delay": result.mean_sojourn_time,
-        "mean_waiting_time": result.mean_waiting_time,
-        "mean_queue_length": result.mean_queue_length,
-        "mean_jobs_in_system": result.mean_jobs_in_system,
-        "simulated_time": result.simulated_time,
-        "num_events": float(result.num_events),
-        "events_per_second": result.events_per_second,
-    }
-
-
-def _replicate_gillespie(parameters: Mapping[str, Any], seed: int) -> Dict[str, float]:
-    from repro.simulation.gillespie import simulate_sqd_ctmc
-
-    result = simulate_sqd_ctmc(seed=seed, **parameters)
-    return {
-        "mean_delay": result.mean_sojourn_time,
-        "mean_waiting_time": result.mean_waiting_time,
-        "mean_jobs_in_system": result.mean_jobs_in_system,
-        "mean_queue_imbalance": result.mean_queue_imbalance,
-        "simulated_time": result.simulated_time,
-        "num_events": float(result.num_events),
-    }
-
-
-def _replicate_cluster(parameters: Mapping[str, Any], seed: int) -> Dict[str, float]:
-    from repro.policies.sqd import PowerOfD
-    from repro.simulation.cluster import ClusterSimulation
-    from repro.simulation.workloads import poisson_exponential_workload
-
-    parameters = dict(parameters)
-    num_jobs = int(parameters.pop("num_jobs", 50_000))
-    warmup_jobs = int(parameters.pop("warmup_jobs", num_jobs // 10))
-    d = int(parameters.pop("d", 2))
-    workload = poisson_exponential_workload(**parameters)
-    simulation = ClusterSimulation(workload, PowerOfD(d), seed=seed, warmup_jobs=warmup_jobs)
-    result = simulation.run(num_jobs)
-    return {
-        "mean_delay": result.mean_sojourn_time,
-        "mean_waiting_time": result.mean_waiting_time,
-        "simulated_time": result.simulated_time,
-        "completed_jobs": float(result.completed_jobs),
-    }
-
-
-def _replicate_scenario(parameters: Mapping[str, Any], seed: int) -> Dict[str, float]:
-    from repro.fleet.engine import run_scenario
-    from repro.fleet.scenarios import get_scenario
-
-    parameters = dict(parameters)
-    name = parameters.pop("scenario")
-    scenario_parameters = parameters.pop("scenario_parameters", {})
-    scenario = get_scenario(name, **scenario_parameters)
-    result = run_scenario(scenario, seed=seed, **parameters)
-    return {
-        "mean_delay": result.overall_mean_delay,
-        "simulated_time": result.total_time,
-        "num_events": float(result.total_events),
-    }
-
-
-_KIND_RUNNERS = {
-    "fleet": _replicate_fleet,
-    "gillespie": _replicate_gillespie,
-    "cluster": _replicate_cluster,
-    "scenario": _replicate_scenario,
-}
-
-#: The simulation back-ends an ensemble can replicate.
-SIMULATION_KINDS: Tuple[str, ...] = tuple(sorted(_KIND_RUNNERS))
-
-
-def _execute_replication(task: Tuple[str, Dict[str, Any], int, int]) -> Dict[str, Any]:
+def _execute_replication(task: Tuple[str, ExperimentSpec, int, int]) -> Dict[str, Any]:
     """Run one replication in a worker process; returns a plain record dict."""
-    kind, parameters, seed, index = task
+    backend_name, spec, seed, index = task
     started = time.perf_counter()
-    metrics = _KIND_RUNNERS[kind](parameters, seed)
+    metrics = get_backend(backend_name).run_once(spec, seed)
     record: Dict[str, Any] = {"replication": index, "seed": seed}
     record.update(metrics)
     record["wall_seconds"] = time.perf_counter() - started
@@ -146,20 +81,26 @@ def _execute_replication(task: Tuple[str, Dict[str, Any], int, int]) -> Dict[str
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class EnsembleConfig:
-    """One ensemble: a simulation configuration plus replication policy.
+    """One ensemble: an experiment spec, a backend, and a replication policy.
 
     Parameters
     ----------
-    kind : str
-        Which simulator to replicate: ``"fleet"`` (occupancy engine,
-        :func:`repro.fleet.engine.simulate_fleet`), ``"gillespie"``
-        (per-server CTMC), ``"cluster"`` (per-job DES) or ``"scenario"``
-        (time-varying playback through the occupancy engine).
-    parameters : mapping
-        Keyword arguments forwarded to the simulator, *without* ``seed`` —
-        seeds are derived per replication.  For ``kind="scenario"`` the
-        mapping must contain ``scenario`` (a registered scenario name) and
-        may carry ``scenario_parameters`` for the builder.
+    spec : ExperimentSpec
+        The experiment to replicate (the canonical configuration since
+        PR 3).
+    backend : str, optional
+        A registered stochastic backend (``"ctmc"``, ``"cluster"``,
+        ``"fleet"``); defaults to the cheapest capable one for the spec.
+    kind : str, optional
+        *Deprecated* — the pre-spec simulator name (``"fleet"``,
+        ``"gillespie"``, ``"cluster"``, ``"scenario"``).  Converted to a
+        spec internally and kept as a read-only legacy view.
+    parameters : mapping, optional
+        *Deprecated* — raw keyword arguments of the legacy dialect,
+        *without* ``seed``.  Populated as a legacy view even for
+        spec-built configs, so old call-sites keep reading it; ``kind`` is
+        ``None`` (and ``parameters`` empty) when the spec is not
+        legacy-expressible, e.g. with a non-default workload.
     replications : int
         Number of replications to run (the *initial* batch when
         ``target_relative_half_width`` is set).
@@ -183,7 +124,7 @@ class EnsembleConfig:
         stopping trajectory is machine-independent.
     """
 
-    kind: str
+    kind: Optional[str] = None
     parameters: Mapping[str, Any] = field(default_factory=dict)
     replications: int = 8
     workers: int = 1
@@ -192,11 +133,44 @@ class EnsembleConfig:
     target_relative_half_width: Optional[float] = None
     max_replications: int = 64
     batch_size: int = DEFAULT_BATCH_SIZE
+    spec: Optional[ExperimentSpec] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in _KIND_RUNNERS:
-            raise ValidationError(
-                f"kind must be one of {SIMULATION_KINDS}, got {self.kind!r}"
+        if self.spec is None:
+            if self.kind is None:
+                raise SpecError(
+                    "EnsembleConfig needs spec=ExperimentSpec(...) "
+                    "(or the deprecated kind=/parameters= pair)"
+                )
+            warnings.warn(
+                "EnsembleConfig(kind=..., parameters=...) is deprecated; "
+                "pass spec=ExperimentSpec(...) (and optionally backend=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            spec, backend = spec_from_kind(
+                self.kind, self.parameters, seed=self.seed if self.seed is not None else 12345
+            )
+            object.__setattr__(self, "spec", spec)
+            object.__setattr__(self, "backend", backend)
+        else:
+            if self.kind is not None:
+                raise SpecError("pass either spec= or the deprecated kind=, not both")
+            if self.backend is None:
+                object.__setattr__(
+                    self, "backend", select_backend(self.spec, replicable_only=True).name
+                )
+            else:
+                require_capable(self.backend, self.spec)
+            # Keep the legacy view readable for pre-spec call-sites.
+            kind, parameters = kind_from_spec(self.spec, self.backend)
+            object.__setattr__(self, "kind", kind)
+            object.__setattr__(self, "parameters", parameters)
+        if get_backend(self.backend).capabilities.deterministic:
+            raise SpecError(
+                f"backend {self.backend!r} is deterministic — replicating it is "
+                "meaningless; call repro.run(spec, backend=...) directly"
             )
         check_integer("replications", self.replications, minimum=1)
         check_integer("workers", self.workers, minimum=1)
@@ -295,8 +269,8 @@ class EnsembleResult:
             )
         config = self.config
         title = (
-            f"ensemble: {config.kind} x {self.replications} replications "
-            f"(seed {config.seed})"
+            f"ensemble: {config.backend} ({config.spec.describe()}) x "
+            f"{self.replications} replications (seed {config.seed})"
         )
         return format_table(headers, rows, title=title)
 
@@ -327,7 +301,7 @@ def _run_batch(
     """Execute replications ``start .. start + count - 1`` (ordered)."""
     seeds = spawn_seeds(config.seed, count, start=start)
     tasks = [
-        (config.kind, dict(config.parameters), seed, start + offset)
+        (config.backend, config.spec, seed, start + offset)
         for offset, seed in enumerate(seeds)
     ]
     if pool is None:
@@ -336,7 +310,7 @@ def _run_batch(
 
 
 def run_ensemble(
-    kind: str = "fleet",
+    kind: Optional[str] = None,
     parameters: Optional[Mapping[str, Any]] = None,
     replications: int = 8,
     workers: int = 1,
@@ -347,13 +321,23 @@ def run_ensemble(
     batch_size: int = DEFAULT_BATCH_SIZE,
     config: Optional[EnsembleConfig] = None,
     pool=None,
+    spec: Optional[ExperimentSpec] = None,
+    backend: Optional[str] = None,
 ) -> EnsembleResult:
-    """Run ``K`` independent replications of one simulation, in parallel.
+    """Run ``K`` independent replications of one experiment, in parallel.
 
     Parameters
     ----------
-    kind, parameters, replications, workers, seed, confidence, \
-target_relative_half_width, max_replications, batch_size :
+    spec : ExperimentSpec, optional
+        The experiment to replicate — the canonical input.
+    backend : str, optional
+        Stochastic backend name; auto-selected from the spec if omitted.
+    kind, parameters :
+        *Deprecated* legacy dialect (``"fleet"`` / ``"gillespie"`` /
+        ``"cluster"`` / ``"scenario"`` plus a raw keyword dict); converted
+        to a spec internally with a ``DeprecationWarning``.
+    replications, workers, seed, confidence, target_relative_half_width, \
+max_replications, batch_size :
         See :class:`EnsembleConfig`.  Ignored when ``config`` is given.
     config : EnsembleConfig, optional
         A pre-built configuration (used by the grid engine so one pool can
@@ -372,15 +356,16 @@ target_relative_half_width, max_replications, batch_size :
 
     Notes
     -----
-    The result is a deterministic function of ``(kind, parameters,
+    The result is a deterministic function of ``(spec, backend,
     replications, seed, confidence, target_relative_half_width, batch_size)``
     alone — the worker count only changes wall-clock time.
 
     Examples
     --------
+    >>> from repro.api import ExperimentSpec
     >>> result = run_ensemble(
-    ...     "fleet",
-    ...     {"num_servers": 200, "utilization": 0.8, "num_events": 20_000},
+    ...     spec=ExperimentSpec.create(
+    ...         num_servers=200, utilization=0.8, num_events=20_000),
     ...     replications=4,
     ...     seed=7,
     ... )
@@ -388,9 +373,13 @@ target_relative_half_width, max_replications, batch_size :
     4
     """
     if config is None:
+        if spec is not None and kind is not None:
+            raise SpecError("pass either spec= or the deprecated kind=, not both")
         config = EnsembleConfig(
             kind=kind,
             parameters=dict(parameters or {}),
+            spec=spec,
+            backend=backend,
             replications=replications,
             workers=workers,
             seed=seed,

@@ -22,9 +22,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.spec import ExperimentSpec
 from repro.core.analysis import analyze_sqd
 from repro.core.qbd_solver import SolutionMethod
-from repro.ensemble.runner import run_ensemble, worker_pool
+from repro.ensemble.runner import EnsembleConfig, run_ensemble, worker_pool
 from repro.utils.tables import format_series
 from repro.utils.validation import check_integer
 
@@ -154,17 +155,20 @@ def run_figure10(config: Figure10Config) -> Figure10Result:
             asymptotic.append(analysis.asymptotic_delay)
             if config.run_simulation:
                 ensemble = run_ensemble(
-                    "gillespie",
-                    {
-                        "num_servers": config.num_servers,
-                        "d": config.d,
-                        "utilization": utilization,
-                        "num_events": config.simulation_events,
-                    },
-                    replications=config.replications,
-                    workers=config.workers,
-                    seed=config.seed + index,
-                    confidence=config.confidence,
+                    config=EnsembleConfig(
+                        spec=ExperimentSpec.create(
+                            num_servers=config.num_servers,
+                            d=config.d,
+                            utilization=utilization,
+                            num_events=config.simulation_events,
+                            seed=config.seed + index,
+                        ),
+                        backend="ctmc",
+                        replications=config.replications,
+                        workers=config.workers,
+                        seed=config.seed + index,
+                        confidence=config.confidence,
+                    ),
                     pool=pool,
                 )
                 statistics = ensemble.delay

@@ -20,8 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.spec import ExperimentSpec
 from repro.core.asymptotic import asymptotic_delay, relative_error_percent
-from repro.ensemble.runner import run_ensemble, worker_pool
+from repro.ensemble.runner import EnsembleConfig, run_ensemble, worker_pool
 from repro.utils.tables import format_series
 from repro.utils.validation import check_in_range, check_integer
 
@@ -152,18 +153,22 @@ def run_figure9(config: Figure9Config) -> Figure9Result:
             for n in config.server_counts:
                 if n < d:
                     continue
+                point_seed = config.seed + 1000 * d + n
                 ensemble = run_ensemble(
-                    "gillespie",
-                    {
-                        "num_servers": n,
-                        "d": d,
-                        "utilization": config.utilization,
-                        "num_events": config.num_events,
-                    },
-                    replications=config.replications,
-                    workers=config.workers,
-                    seed=config.seed + 1000 * d + n,
-                    confidence=config.confidence,
+                    config=EnsembleConfig(
+                        spec=ExperimentSpec.create(
+                            num_servers=n,
+                            d=d,
+                            utilization=config.utilization,
+                            num_events=config.num_events,
+                            seed=point_seed,
+                        ),
+                        backend="ctmc",
+                        replications=config.replications,
+                        workers=config.workers,
+                        seed=point_seed,
+                        confidence=config.confidence,
+                    ),
                     pool=pool,
                 )
                 statistics = ensemble.delay

@@ -25,9 +25,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.spec import ExperimentSpec
 from repro.core.analysis import analyze_sqd
 from repro.core.asymptotic import asymptotic_delay, relative_error_percent
-from repro.ensemble.runner import EnsembleResult, run_ensemble, worker_pool
+from repro.ensemble.runner import EnsembleConfig, EnsembleResult, run_ensemble, worker_pool
 from repro.utils.tables import format_table
 from repro.utils.validation import check_in_range, check_integer
 
@@ -165,18 +166,21 @@ def run_scale_study(config: ScaleStudyConfig, progress: Optional[callable] = Non
                 progress(index, len(counts), num_servers)
             ensembles.append(
                 run_ensemble(
-                    "fleet",
-                    {
-                        "num_servers": num_servers,
-                        "d": config.d,
-                        "utilization": config.utilization,
-                        "num_events": config.num_events,
-                        "policy": config.policy,
-                    },
-                    replications=config.replications,
-                    workers=config.workers,
-                    seed=config.seed + index,
-                    confidence=config.confidence,
+                    config=EnsembleConfig(
+                        spec=ExperimentSpec.create(
+                            num_servers=num_servers,
+                            d=config.d,
+                            utilization=config.utilization,
+                            num_events=config.num_events,
+                            policy=config.policy,
+                            seed=config.seed + index,
+                        ),
+                        backend="fleet",
+                        replications=config.replications,
+                        workers=config.workers,
+                        seed=config.seed + index,
+                        confidence=config.confidence,
+                    ),
                     pool=pool,
                 )
             )

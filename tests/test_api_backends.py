@@ -1,0 +1,165 @@
+"""Tests for the backend registry: capabilities, auto-selection, SpecError."""
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    SpecError,
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+    select_backend,
+)
+from repro.api.backends import Capabilities, require_capable
+from repro.api.spec import ScenarioSpec, SystemSpec
+
+
+def spec(**kwargs):
+    kwargs.setdefault("num_servers", 20)
+    kwargs.setdefault("utilization", 0.8)
+    return ExperimentSpec.create(**kwargs)
+
+
+class TestRegistry:
+    def test_six_backends_registered(self):
+        assert available_backends() == [
+            "cluster",
+            "ctmc",
+            "exact",
+            "fleet",
+            "meanfield",
+            "qbd_bounds",
+        ]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            get_backend("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SpecError, match="already registered"):
+            @register_backend("fleet")
+            class Impostor:
+                capabilities = Capabilities(description="", policies=("sqd",))
+
+                def run_once(self, spec, seed):
+                    return {"mean_delay": 0.0}
+
+    def test_capabilities_table_is_complete(self):
+        table = backend_capabilities()
+        assert set(table) == set(available_backends())
+        for capabilities in table.values():
+            assert capabilities.answer in {"estimate", "exact", "bounds", "limit"}
+            assert capabilities.description
+
+
+class TestCapabilityGates:
+    def test_exact_rejects_large_pools(self):
+        with pytest.raises(SpecError, match="up to N=3"):
+            require_capable("exact", spec(num_servers=50))
+
+    def test_qbd_bounds_reject_intractable_blocks(self):
+        # N=50 at the default threshold T=3 would need a C(52, 3) block.
+        with pytest.raises(SpecError, match="block size"):
+            require_capable("qbd_bounds", spec(num_servers=50))
+        # Lowering the threshold makes the same pool tractable.
+        require_capable("qbd_bounds", spec(num_servers=50, threshold=2))
+
+    def test_qbd_bounds_reject_non_sqd_policies(self):
+        with pytest.raises(SpecError, match="policy"):
+            require_capable("qbd_bounds", spec(policy="jsq"))
+
+    def test_fleet_rejects_work_aware_policies(self):
+        with pytest.raises(SpecError, match="policy"):
+            require_capable("fleet", spec(policy="least_work_left"))
+
+    def test_only_cluster_runs_hyperexponential_service(self):
+        bursty = spec(
+            service="hyperexponential",
+            service_params={"probabilities": [0.5, 0.5], "rates": [2.0, 2.0 / 3.0]},
+        )
+        require_capable("cluster", bursty)
+        for name in ("fleet", "ctmc", "qbd_bounds", "exact", "meanfield"):
+            with pytest.raises(SpecError, match="service"):
+                require_capable(name, bursty)
+
+    def test_only_fleet_plays_scenarios(self):
+        playback = ExperimentSpec(
+            system=SystemSpec(num_servers=100), scenario=ScenarioSpec("ramp")
+        )
+        require_capable("fleet", playback)
+        with pytest.raises(SpecError, match="scenario"):
+            require_capable("ctmc", playback)
+
+    def test_unknown_backend_options_rejected_consistently(self):
+        for name in ("fleet", "ctmc", "cluster", "meanfield"):
+            with pytest.raises(SpecError, match="unknown spec options"):
+                get_backend(name).run_once(
+                    spec(num_servers=5, num_events=1000, typo_option=1), seed=1
+                )
+
+    def test_foreign_options_ride_along_harmlessly(self):
+        # One spec, many engines: 'threshold' belongs to qbd_bounds but must
+        # not stop a simulator from running the same spec.
+        metrics = get_backend("fleet").run_once(
+            spec(num_servers=10, num_events=2_000, threshold=2), seed=3
+        )
+        assert metrics["mean_delay"] > 1.0
+
+
+class TestAutoSelection:
+    def test_tiny_pools_go_exact(self):
+        assert select_backend(spec(num_servers=3)).name == "exact"
+
+    def test_standard_pools_go_fleet(self):
+        assert select_backend(spec(num_servers=100)).name == "fleet"
+        assert select_backend(spec(num_servers=500_000)).name == "fleet"
+
+    def test_non_default_workloads_go_cluster(self):
+        chosen = select_backend(spec(service="deterministic"))
+        assert chosen.name == "cluster"
+
+    def test_work_aware_policies_go_cluster(self):
+        assert select_backend(spec(policy="least_work_left")).name == "cluster"
+
+    def test_limit_and_bounds_backends_never_auto_selected(self):
+        for n in (3, 100, 10_000):
+            assert select_backend(spec(num_servers=n)).name not in {"meanfield", "qbd_bounds"}
+
+    def test_replicable_only_skips_deterministic_backends(self):
+        assert select_backend(spec(num_servers=3), replicable_only=True).name == "fleet"
+
+    def test_impossible_spec_explains_every_candidate(self):
+        impossible = spec(policy="round_robin", service="deterministic", num_servers=50_000)
+        with pytest.raises(SpecError, match="cluster"):
+            select_backend(impossible)
+
+
+class TestBackendAnswers:
+    def test_deterministic_backends_ignore_the_seed(self):
+        bounds_spec = spec(num_servers=6, threshold=2)
+        a = get_backend("qbd_bounds").run_once(bounds_spec, seed=1)
+        b = get_backend("qbd_bounds").run_once(bounds_spec, seed=2)
+        assert a == b
+
+    def test_bounds_bracket_and_asymptote(self):
+        metrics = get_backend("qbd_bounds").run_once(spec(num_servers=6, threshold=2), seed=None)
+        assert metrics["lower_delay"] == metrics["mean_delay"]
+        assert metrics["lower_delay"] <= metrics["upper_delay"]
+        assert metrics["asymptotic_delay"] > 1.0
+
+    def test_meanfield_matches_closed_form(self):
+        from repro.fleet.meanfield import meanfield_delay
+
+        metrics = get_backend("meanfield").run_once(spec(num_servers=9999, d=2), seed=None)
+        assert metrics["mean_delay"] == pytest.approx(meanfield_delay(0.8, 2))
+
+    def test_meanfield_jsq_limit_is_bare_service_time(self):
+        metrics = get_backend("meanfield").run_once(spec(policy="jsq"), seed=None)
+        assert metrics["mean_delay"] == 1.0
+
+    def test_stochastic_backends_report_mean_delay(self):
+        fast = spec(num_servers=10, num_events=2_000, num_jobs=2_000)
+        for name in ("ctmc", "cluster", "fleet"):
+            metrics = get_backend(name).run_once(fast, seed=5)
+            assert metrics["mean_delay"] > 1.0  # sojourn >= one service time

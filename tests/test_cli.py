@@ -187,7 +187,7 @@ class TestEnsembleCommand:
         )
         output = capsys.readouterr().out
         assert exit_code == 0
-        assert "scenario x 2 replications" in output
+        assert "scenario=constant" in output and "x 2 replications" in output
 
     def test_jsonl_export(self, capsys, tmp_path):
         import json as json_module
@@ -247,3 +247,107 @@ class TestEnsembleCommand:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "sim ±CI" in output
+
+
+class TestRunCommand:
+    def _write_spec(self, tmp_path, **overrides):
+        from repro import ExperimentSpec
+
+        kwargs = dict(num_servers=50, utilization=0.8, num_events=5_000, seed=11)
+        kwargs.update(overrides)
+        spec = ExperimentSpec.create(**kwargs)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(indent=2))
+        return path
+
+    def test_runs_a_spec_file_with_auto_backend(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path)
+        exit_code = main(["run", "--spec", str(path)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fleet" in output and "mean_delay" in output
+        assert "wall-clock" in output
+
+    def test_explicit_backend_and_replications(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path)
+        exit_code = main(
+            ["run", "--spec", str(path), "--backend", "ctmc", "--replications", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ctmc" in output and "95% CI" in output
+
+    def test_json_export_shares_the_result_schema(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path)
+        out = tmp_path / "result.json"
+        exit_code = main(["run", "--spec", str(path), "--json", str(out)])
+        assert exit_code == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["backend"] == "fleet"
+        assert payload["spec"]["system"]["num_servers"] == 50
+        assert payload["mean_delay"] > 1.0
+
+    def test_missing_spec_file_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["run", "--spec", "/nonexistent/spec.json"])
+
+    def test_incapable_backend_is_a_clean_error(self, tmp_path):
+        path = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="cannot run this spec"):
+            main(["run", "--spec", str(path), "--backend", "exact"])
+
+    def test_malformed_spec_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"system": {"num_servers": -3}}')
+        with pytest.raises(SystemExit, match="num_servers"):
+            main(["run", "--spec", str(path)])
+
+
+class TestBackendsCommand:
+    def test_lists_all_six_backends(self, capsys):
+        exit_code = main(["backends"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("qbd_bounds", "exact", "ctmc", "cluster", "fleet", "meanfield"):
+            assert name in output
+        assert "answer" in output and "policies" in output
+
+
+class TestJsonExports:
+    def test_analyze_json_export(self, capsys, tmp_path):
+        out = tmp_path / "analysis.json"
+        exit_code = main(
+            ["analyze", "-N", "3", "-d", "2", "-u", "0.7", "-T", "2", "--json", str(out)]
+        )
+        assert exit_code == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["command"] == "analyze"
+        assert payload["results"]["lower_bound"] > 1.0
+        assert payload["results"]["N"] == 3
+        assert "provenance" in payload
+
+    def test_fleet_json_export(self, capsys, tmp_path):
+        out = tmp_path / "fleet.json"
+        exit_code = main(
+            ["fleet", "-N", "200", "-u", "0.8", "--events", "20000",
+             "--seed", "5", "--json", str(out)]
+        )
+        assert exit_code == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["command"] == "fleet"
+        assert payload["results"]["mean_delay"] > 1.0
+        assert payload["results"]["meanfield_delay"] > 1.0
+
+    def test_fleet_scenario_json_export(self, capsys, tmp_path):
+        out = tmp_path / "scenario.json"
+        exit_code = main(
+            ["fleet", "-N", "100", "--scenario", "constant", "--seed", "4",
+             "--json", str(out)]
+        )
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["parameters"]["scenario"] == "constant"
+        assert len(payload["results"]["phases"]) >= 1

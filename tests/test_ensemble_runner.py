@@ -153,13 +153,14 @@ class TestEnsembleConfig:
             EnsembleConfig(kind="quantum")
 
     def test_invalid_confidence_rejected(self):
-        with pytest.raises(ValidationError):
-            EnsembleConfig(kind="fleet", confidence=0.0)
+        with pytest.raises(ValidationError, match="confidence"):
+            EnsembleConfig(kind="fleet", parameters=FLEET_PARAMS, confidence=0.0)
 
     def test_max_replications_must_cover_initial_in_adaptive_mode(self):
-        with pytest.raises(ValidationError):
+        with pytest.raises(ValidationError, match="max_replications"):
             EnsembleConfig(
                 kind="fleet",
+                parameters=FLEET_PARAMS,
                 replications=10,
                 max_replications=5,
                 target_relative_half_width=0.05,
@@ -168,9 +169,11 @@ class TestEnsembleConfig:
     def test_fixed_count_ignores_max_replications_cap(self):
         # Without a precision target the cap is irrelevant: asking for more
         # replications than the (adaptive-mode) default cap must be legal.
-        config = EnsembleConfig(kind="fleet", replications=100)
+        config = EnsembleConfig(kind="fleet", parameters=FLEET_PARAMS, replications=100)
         assert config.replications == 100
 
     def test_invalid_target_rejected(self):
-        with pytest.raises(ValidationError):
-            EnsembleConfig(kind="fleet", target_relative_half_width=-0.1)
+        with pytest.raises(ValidationError, match="target_relative_half_width"):
+            EnsembleConfig(
+                kind="fleet", parameters=FLEET_PARAMS, target_relative_half_width=-0.1
+            )

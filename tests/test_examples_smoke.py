@@ -1,0 +1,56 @@
+"""Smoke-run every example script with reduced event counts.
+
+The examples are the package's front door; since they migrated onto the
+``repro.run`` API they must never rot silently.  Each script honours the
+``REPRO_EXAMPLES_SCALE`` environment variable (a multiplier on its default
+event/job counts), so the whole gallery runs in seconds here — and in the
+CI ``examples`` job, which executes the same command matrix.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+SMOKE_ENV = {
+    "PYTHONPATH": str(REPO_ROOT / "src"),
+    "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+    "REPRO_EXAMPLES_SCALE": "0.02",
+}
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=SMOKE_ENV,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed\nstdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}"
+    )
+    assert "Reading:" in completed.stdout or "delay" in completed.stdout.lower()
+
+
+@pytest.mark.parametrize(
+    "script",
+    [path for path in EXAMPLES if path.name != "bound_accuracy_study.py"],
+    ids=lambda path: path.name,
+)
+def test_example_honours_the_scale_knob(script):
+    # The contract the CI smoke job relies on: the knob is read at module
+    # scope (bound_accuracy_study has no stochastic horizon to scale).
+    assert "REPRO_EXAMPLES_SCALE" in script.read_text(encoding="utf-8"), script.name

@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import env_int
+from conftest import env_int, smoke_mode
 
 from repro.api import ExperimentSpec
 from repro.ensemble.runner import run_ensemble
@@ -50,7 +50,7 @@ def _available_cores() -> int:
         return os.cpu_count() or 1
 
 
-def test_ensemble_speedup_in_workers(benchmark, report):
+def test_ensemble_speedup_in_workers(benchmark, report, report_json):
     """Wall-clock must drop near-linearly in workers (where cores exist)."""
     cores = _available_cores()
     worker_counts = sorted({1, 2, 4} & set(range(1, cores + 1))) or [1]
@@ -64,6 +64,7 @@ def test_ensemble_speedup_in_workers(benchmark, report):
 
     serial_seconds = timings[0][0][0]
     rows = []
+    json_rows = []
     for (seconds, result), workers in timings:
         rows.append(
             [
@@ -72,6 +73,16 @@ def test_ensemble_speedup_in_workers(benchmark, report):
                 f"{serial_seconds / seconds:.2f}x",
                 f"{result.delay.mean:.4f} ± {result.delay.half_width:.4f}",
             ]
+        )
+        json_rows.append(
+            {
+                "workers": workers,
+                "wall_seconds": seconds,
+                "speedup": serial_seconds / seconds,
+                "mean_delay": result.delay.mean,
+                "delay_half_width": result.delay.half_width,
+                "kernel": result.records[0].get("kernel"),
+            }
         )
     table = format_table(
         ["workers", "seconds", "speedup", "mean delay ± 95% CI"],
@@ -82,7 +93,30 @@ def test_ensemble_speedup_in_workers(benchmark, report):
             f"({cores} cores available)"
         ),
     )
+    if cores < 4:
+        # An honest marker beats a one-row table that looks like a
+        # regression: the speedup claim is untestable without the cores.
+        table += (
+            f"\nSKIPPED: parallel speedup not measurable on this machine "
+            f"({cores} core{'s' if cores != 1 else ''} available, need >= 4 "
+            f"for the full table; determinism across worker counts was still verified)"
+        )
     report("ensemble_speedup", table)
+
+    report_json(
+        "ensemble",
+        {
+            "workload": {
+                "num_servers": SPEC.system.num_servers,
+                "utilization": SPEC.system.utilization,
+                "events_per_replication": EVENTS,
+                "replications": REPLICATIONS,
+            },
+            "cores_available": cores,
+            "speedup_measurable": cores >= 4,
+            "results": json_rows,
+        },
+    )
 
     # Determinism across worker counts is asserted unconditionally.
     records = [result.simulation_records() for (_, result), _ in timings]
@@ -91,7 +125,11 @@ def test_ensemble_speedup_in_workers(benchmark, report):
     # The speedup bound only holds where the hardware exists: ISSUE 2's
     # acceptance criterion (>= 3x at 4 workers) is asserted loosely and only
     # on machines with >= 4 cores, so single-core CI boxes don't fail on
-    # physics they cannot change.
+    # physics they cannot change.  Smoke mode skips the absolute bounds
+    # entirely — its reduced workload is dominated by pool start-up, which
+    # measures process spawning, not the runner.
+    if smoke_mode():
+        return
     if cores >= 4:
         four_worker_seconds = next(
             seconds for (seconds, _), workers in timings if workers == 4

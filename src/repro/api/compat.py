@@ -129,6 +129,10 @@ def kind_from_spec(spec: ExperimentSpec, backend: str) -> Tuple[Optional[str], D
     """
     if not spec.workload.is_default:
         return None, {}
+    if backend == "fleet" and spec.options.get("kernel", "auto") != "auto":
+        # The legacy dialect predates the kernel layer; a view that drops a
+        # pinned kernel would replay the experiment on a different loop.
+        return None, {}
     system = spec.system
     parameters: Dict[str, Any] = {"num_servers": system.num_servers}
     if spec.scenario is not None:

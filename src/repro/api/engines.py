@@ -52,6 +52,7 @@ KNOWN_OPTIONS = {
     "start": "fleet",
     "with_replacement": "fleet",
     "warmup_jobs": "cluster",
+    "kernel": "fleet",
 }
 
 
@@ -352,15 +353,52 @@ class ClusterBackend:
         }
 
 
+@dataclass(frozen=True)
+class _FleetCapabilities(Capabilities):
+    """Adds event-kernel capability to the generic checks.
+
+    A spec may pin the fleet hot loop to one kernel via the ``kernel``
+    option; combinations the kernel cannot run (e.g. ``uniformized`` with
+    distinct-server SQ(d), d >= 3) are capability mismatches like any
+    other, so ``require_capable`` and auto-selection report them through
+    the same ``SpecError`` surface.
+    """
+
+    def why_unsupported(self, spec: ExperimentSpec) -> Optional[str]:
+        reason = super().why_unsupported(spec)
+        if reason is not None:
+            return reason
+        kernel = spec.option("kernel", "auto")
+        if not isinstance(kernel, str):
+            return f"the 'kernel' option must be a string, got {kernel!r}"
+        from repro.kernels import available_kernels, kernel_why_unsupported
+
+        if kernel != "auto" and kernel not in available_kernels():
+            return (
+                f"unknown kernel {kernel!r} "
+                f"(available: {', '.join(['auto'] + available_kernels())})"
+            )
+        why = kernel_why_unsupported(
+            kernel, spec.policy, spec.system.d, bool(spec.option("with_replacement", False))
+        )
+        if why is not None:
+            return f"kernel {kernel!r} cannot run this spec: {why}"
+        return None
+
+
 @register_backend("fleet")
 class FleetBackend:
     """Occupancy-vector Gillespie engine — N up to 10^6, plus scenarios.
 
     Options: ``start`` (``"stationary"`` / ``"empty"``) and
-    ``with_replacement`` (poll with replacement) for stationary runs.
+    ``with_replacement`` (poll with replacement) for stationary runs;
+    ``kernel`` (``"auto"`` / ``"python"`` / ``"uniformized"``) selects the
+    event kernel driving the hot loop (:mod:`repro.kernels`).  The
+    resolved kernel is reported in the metrics, so it lands in
+    ``RunResult`` extras and every ensemble JSONL record.
     """
 
-    capabilities = Capabilities(
+    capabilities = _FleetCapabilities(
         description="occupancy-based fleet simulation (large N, scenarios)",
         policies=("sqd", "jsq", "random"),
         supports_scenarios=True,
@@ -375,7 +413,7 @@ class FleetBackend:
         from repro.fleet.scenarios import get_scenario
 
         if spec.scenario is not None:
-            options = _pop_options(spec, "with_replacement")
+            options = _pop_options(spec, "with_replacement", "kernel")
             scenario = get_scenario(spec.scenario.name, **dict(spec.scenario.params))
             result = run_scenario(
                 scenario,
@@ -385,14 +423,16 @@ class FleetBackend:
                 policy=spec.policy,
                 seed=seed,
                 with_replacement=options.get("with_replacement", False),
+                kernel=options.get("kernel", "auto"),
             )
             return {
                 "mean_delay": result.overall_mean_delay,
                 "simulated_time": result.total_time,
                 "num_events": float(result.total_events),
+                "kernel": result.kernel,
             }
 
-        options = _pop_options(spec, "start", "with_replacement")
+        options = _pop_options(spec, "start", "with_replacement", "kernel")
         result = simulate_fleet(
             num_servers=spec.system.num_servers,
             d=spec.system.d,
@@ -404,6 +444,7 @@ class FleetBackend:
             policy=spec.policy,
             start=options.get("start", "stationary"),
             with_replacement=options.get("with_replacement", False),
+            kernel=options.get("kernel", "auto"),
         )
         return {
             "mean_delay": result.mean_sojourn_time,
@@ -413,6 +454,7 @@ class FleetBackend:
             "simulated_time": result.simulated_time,
             "num_events": float(result.num_events),
             "events_per_second": result.events_per_second,
+            "kernel": result.kernel,
         }
 
 

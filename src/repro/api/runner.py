@@ -250,6 +250,11 @@ def run(
         for metric in ensemble.metric_names()
         if metric not in ensemble.TIMING_KEYS and metric != "mean_delay"
     }
+    # Textual provenance keys (e.g. the fleet kernel) are identical across
+    # replications; carry the first record's value into the extras.
+    for key in ensemble.TEXT_KEYS:
+        if key in ensemble.records[0]:
+            extras[key] = ensemble.records[0][key]
     return RunResult(
         spec=spec,
         backend=engine.name,

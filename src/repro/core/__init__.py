@@ -56,6 +56,12 @@ from repro.core.asymptotic import (
 from repro.core.delay import DelayMetrics, metrics_from_distribution, mm1_sojourn_time, mmn_sojourn_time
 from repro.core.exact import ExactSolution, solve_exact_truncated
 from repro.core.analysis import DelayAnalysis, analyze_sqd
+from repro.core.solver_cache import (
+    CacheStats,
+    SolverCache,
+    clear_solver_cache,
+    solver_cache,
+)
 
 __all__ = [
     "SQDModel",
@@ -97,4 +103,8 @@ __all__ = [
     "solve_exact_truncated",
     "DelayAnalysis",
     "analyze_sqd",
+    "CacheStats",
+    "SolverCache",
+    "clear_solver_cache",
+    "solver_cache",
 ]

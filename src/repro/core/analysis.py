@@ -24,6 +24,7 @@ from repro.core.qbd_solver import (
     UnstableBoundModelError,
     solve_bound_model,
 )
+from repro.core.solver_cache import bound_solve_key, solver_cache
 from repro.simulation.gillespie import CTMCSimulationResult, simulate_sqd_ctmc
 from repro.utils.validation import check_integer
 
@@ -85,6 +86,7 @@ def analyze_sqd(
     simulation_seed: Optional[int] = 12345,
     compute_exact: bool = False,
     exact_buffer: int = 30,
+    use_cache: bool = True,
 ) -> DelayAnalysis:
     """Analyze one SQ(d) configuration with every method the library offers.
 
@@ -117,6 +119,12 @@ def analyze_sqd(
     compute_exact : bool
         Also solve the buffer-truncated original chain (small ``N`` only),
         with ``exact_buffer`` jobs of head-room per server.
+    use_cache : bool
+        Route the (deterministic) QBD bound solves through the process-wide
+        :func:`repro.core.solver_cache.solver_cache`, so sweeps and grids
+        solve each distinct ``(system, policy)`` configuration once.
+        Cached and uncached results are bitwise identical; pass ``False``
+        to force a fresh solve.
 
     Returns
     -------
@@ -132,20 +140,48 @@ def analyze_sqd(
     if isinstance(lower_bound_method, str):
         lower_bound_method = SolutionMethod(lower_bound_method)
 
-    lower_blocks = LowerBoundModel(model, threshold).qbd_blocks()
-    if lower_bound_method is SolutionMethod.SCALAR_GEOMETRIC:
-        lower_solution = solve_improved_lower_bound(model, threshold, blocks=lower_blocks)
+    def _solve_lower() -> BoundModelSolution:
+        blocks = LowerBoundModel(model, threshold).qbd_blocks()
+        if lower_bound_method is SolutionMethod.SCALAR_GEOMETRIC:
+            return solve_improved_lower_bound(model, threshold, blocks=blocks)
+        return solve_bound_model(blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+
+    def _solve_upper() -> Optional[BoundModelSolution]:
+        # Instability is an outcome of the configuration, not an error:
+        # cache it like a solution so sweeps don't re-attempt it per point.
+        blocks = UpperBoundModel(model, threshold).qbd_blocks()
+        try:
+            return solve_bound_model(blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        except UnstableBoundModelError:
+            return None
+
+    def _key(bound: str, method: Optional[str]):
+        return bound_solve_key(
+            bound,
+            num_servers=model.num_servers,
+            d=model.d,
+            utilization=model.utilization,
+            service_rate=model.service_rate,
+            threshold=threshold,
+            method=method,
+        )
+
+    cache = solver_cache()
+    if use_cache:
+        lower_solution = cache.get_or_compute(
+            _key("lower", lower_bound_method.value), _solve_lower
+        )
     else:
-        lower_solution = solve_bound_model(lower_blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
+        lower_solution = _solve_lower()
 
     upper_solution: Optional[BoundModelSolution] = None
     upper_unstable = False
     if compute_upper_bound:
-        upper_blocks = UpperBoundModel(model, threshold).qbd_blocks()
-        try:
-            upper_solution = solve_bound_model(upper_blocks, method=SolutionMethod.MATRIX_GEOMETRIC)
-        except UnstableBoundModelError:
-            upper_unstable = True
+        if use_cache:
+            upper_solution = cache.get_or_compute(_key("upper", None), _solve_upper)
+        else:
+            upper_solution = _solve_upper()
+        upper_unstable = upper_solution is None
 
     simulation = None
     if run_simulation:

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.spec import ExperimentSpec, ScenarioSpec, SystemSpec
+from repro.api.spec import ExperimentSpec, ScenarioSpec, SpecError, SystemSpec
 from repro.ensemble.runner import (
     EnsembleConfig,
     EnsembleResult,
@@ -69,6 +69,20 @@ class GridConfig:
         Grid seed; see the module docstring for the derivation tree.
     confidence : float
         Confidence level of the per-point intervals.
+    bounds : bool
+        Annotate each (stationary, SQ(d)) grid point with the paper's QBD
+        lower/upper delay bracket.  Solves route through the process-wide
+        :func:`repro.core.solver_cache.solver_cache`, so the sweep performs
+        exactly one QBD solve per distinct ``(system, policy)``
+        configuration — repeated points, replications and re-runs are free.
+        Points whose bracket is intractable (block size ``C(N+T-1, T)``
+        beyond the backend limit) or whose policy has no bounds are
+        annotated with ``None``.
+    threshold : int
+        Imbalance threshold ``T`` of the bound models when ``bounds`` is on.
+    kernel : str
+        Event kernel for the fleet points (``"auto"``, ``"python"``,
+        ``"uniformized"``); recorded in every replication record.
     """
 
     server_counts: Sequence[int] = (100, 1000)
@@ -81,17 +95,37 @@ class GridConfig:
     workers: int = 1
     seed: Optional[int] = 12345
     confidence: float = 0.95
+    bounds: bool = False
+    threshold: int = 3
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         check_integer("num_events", self.num_events, minimum=1)
         check_integer("replications", self.replications, minimum=1)
         check_integer("workers", self.workers, minimum=1)
+        check_integer("threshold", self.threshold, minimum=1)
         if not (0.0 < self.confidence < 1.0):
             raise ValidationError(f"confidence must be in (0, 1), got {self.confidence!r}")
         for n in self.server_counts:
             check_integer("N", n, minimum=1)
         for d in self.choices:
             check_integer("d", d, minimum=1)
+        # Fail fast on an unknown or incapable kernel: a mid-sweep SpecError
+        # would discard every grid point already simulated.
+        from repro.kernels import available_kernels, kernel_why_unsupported
+
+        if self.kernel != "auto" and self.kernel not in available_kernels():
+            raise SpecError(
+                f"unknown kernel {self.kernel!r} "
+                f"(available: {', '.join(['auto'] + available_kernels())})"
+            )
+        for d in self.choices:
+            reason = kernel_why_unsupported(self.kernel, self.policy, d, False)
+            if reason is not None:
+                raise SpecError(
+                    f"kernel {self.kernel!r} cannot run policy {self.policy!r} "
+                    f"with d={d}: {reason}"
+                )
 
     def points(self) -> List[Dict[str, Any]]:
         """Expand the grid into per-point experiment specs.
@@ -101,6 +135,7 @@ class GridConfig:
         occupancy fleet backend.
         """
         expanded: List[Dict[str, Any]] = []
+        options = {} if self.kernel == "auto" else {"kernel": self.kernel}
         if self.scenarios:
             axes = itertools.product(self.server_counts, self.choices, self.scenarios)
             for n, d, scenario in axes:
@@ -112,6 +147,7 @@ class GridConfig:
                             system=SystemSpec(num_servers=n, d=d),
                             policy=self.policy,
                             scenario=ScenarioSpec(scenario),
+                            options=options,
                         ),
                         "backend": "fleet",
                         "labels": {"N": n, "d": d, "scenario": scenario},
@@ -130,6 +166,7 @@ class GridConfig:
                         utilization=utilization,
                         num_events=self.num_events,
                         policy=self.policy,
+                        **options,
                     ),
                     "backend": "fleet",
                     "labels": {"N": n, "d": d, "utilization": utilization},
@@ -140,19 +177,27 @@ class GridConfig:
 
 @dataclass(frozen=True)
 class GridPoint:
-    """One grid point's labels plus its replicated ensemble."""
+    """One grid point's labels plus its replicated ensemble.
+
+    ``bounds`` carries the QBD delay bracket ``{"lower_bound": ...,
+    "upper_bound": ...}`` when the grid was run with ``bounds=True`` and
+    the point's bracket is tractable; ``None`` otherwise.
+    """
 
     labels: Mapping[str, Any]
     ensemble: EnsembleResult
+    bounds: Optional[Mapping[str, Any]] = None
 
     def summary_row(self) -> Dict[str, Any]:
-        """Flat record: labels, delay mean/CI, replication count."""
+        """Flat record: labels, delay mean/CI, replication count, bounds."""
         statistics = self.ensemble.delay
         row: Dict[str, Any] = dict(self.labels)
         row["mean_delay"] = statistics.mean
         row["delay_half_width"] = statistics.half_width
         row["confidence"] = statistics.confidence
         row["replications"] = statistics.n
+        if self.bounds is not None:
+            row.update(self.bounds)
         return row
 
 
@@ -177,7 +222,11 @@ class GridResult:
         if not records:
             return "(empty grid)"
         headers = list(records[0].keys())
-        rows = [[record[h] for h in headers] for record in records]
+        # Bound columns may exist only for the tractable points; keep the
+        # header union in first-seen order and dash out the gaps.
+        for record in records[1:]:
+            headers.extend(key for key in record if key not in headers)
+        rows = [[record.get(h, "-") for h in headers] for record in records]
         title = (
             f"ensemble grid: {len(self.points)} points x "
             f"{self.config.replications} replications ({self.config.policy})"
@@ -197,6 +246,34 @@ def _point_seed(grid_seed: Optional[int], labels: Mapping[str, Any]) -> Optional
     digest = hashlib.sha256(json.dumps(dict(labels), sort_keys=True).encode()).digest()
     entropy = (int(grid_seed), int.from_bytes(digest[:8], "big"))
     return int(np.random.SeedSequence(entropy).generate_state(1, np.uint64)[0])
+
+
+def _point_bounds(config: GridConfig, labels: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """QBD bracket for one stationary grid point, or ``None`` if intractable.
+
+    Solves go through the spec-keyed solver cache, so a sweep touching the
+    same ``(system, policy)`` at several points (or run twice) solves each
+    distinct configuration exactly once.
+    """
+    import math as _math
+
+    from repro.api.engines import MAX_QBD_BLOCK
+
+    if config.policy != "sqd" or "utilization" not in labels:
+        return None
+    n, d = int(labels["N"]), int(labels["d"])
+    block = _math.comb(n + config.threshold - 1, config.threshold)
+    if block > MAX_QBD_BLOCK:
+        return None
+    from repro.core.analysis import analyze_sqd
+
+    analysis = analyze_sqd(
+        num_servers=n,
+        d=d,
+        utilization=float(labels["utilization"]),
+        threshold=config.threshold,
+    )
+    return {"lower_bound": analysis.lower_delay, "upper_bound": analysis.upper_delay}
 
 
 def run_grid(config: GridConfig) -> GridResult:
@@ -243,6 +320,7 @@ def run_grid(config: GridConfig) -> GridResult:
             GridPoint(
                 labels=dict(point["labels"]),
                 ensemble=EnsembleResult(config=ensemble_config, records=tuple(chunk)),
+                bounds=_point_bounds(config, point["labels"]) if config.bounds else None,
             )
         )
     return GridResult(

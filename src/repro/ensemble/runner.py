@@ -216,9 +216,14 @@ class EnsembleResult:
     #: everything else is a deterministic function of the configuration.
     TIMING_KEYS = ("wall_seconds", "events_per_second")
 
+    #: Non-numeric provenance keys a backend may attach to its records
+    #: (e.g. the fleet backend's resolved event kernel).  They ride along in
+    #: the records and JSONL stores but are not averaged like metrics.
+    TEXT_KEYS = ("kernel",)
+
     def metric_names(self) -> List[str]:
         """The scalar metrics shared by every record."""
-        reserved = {"replication", "seed"}
+        reserved = {"replication", "seed", *self.TEXT_KEYS}
         return [key for key in self.records[0] if key not in reserved]
 
     def simulation_records(self) -> List[Dict[str, Any]]:

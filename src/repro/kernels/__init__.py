@@ -1,0 +1,37 @@
+"""repro.kernels — pluggable event kernels for the fleet hot loop.
+
+The innermost loop of :class:`repro.fleet.engine.FleetSimulation` is a
+registered, swappable *kernel* (:class:`~repro.kernels.base.FleetKernel`):
+
+* ``python`` — the scalar reference loop (every policy, any ``d``);
+* ``uniformized`` — numpy chunk kernel via uniformization at
+  ``Lambda = (lambda + mu) * N`` (~3x events/s; SQ(d) distinct polling
+  limited to ``d <= 2``);
+* ``auto`` — resolves to the fastest capable kernel per configuration.
+
+Select with ``FleetSimulation(..., kernel=...)``, ``simulate_fleet(...,
+kernel=...)``, the spec option ``{"kernel": ...}`` on the ``fleet``
+backend, or ``repro-lb fleet/run --kernel ...``.  Incapable combinations
+raise :class:`~repro.api.spec.SpecError`.  See ``docs/performance.md`` for
+the uniformization argument and benchmark methodology.
+"""
+
+from repro.kernels.base import (
+    FleetKernel,
+    available_kernels,
+    get_kernel_class,
+    kernel_why_unsupported,
+    register_kernel,
+    resolve_kernel,
+    select_kernel,
+)
+
+__all__ = [
+    "FleetKernel",
+    "available_kernels",
+    "get_kernel_class",
+    "kernel_why_unsupported",
+    "register_kernel",
+    "resolve_kernel",
+    "select_kernel",
+]

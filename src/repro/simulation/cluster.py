@@ -80,6 +80,7 @@ class ClusterSimulation:
         self._accumulator = WaitingTimeAccumulator(warmup_jobs=warmup_jobs)
 
         n = workload.num_servers
+        self._num_servers = n
         self._queues: List[Deque[_Job]] = [deque() for _ in range(n)]
         self._queue_lengths = np.zeros(n, dtype=np.int64)
         self._work_remaining = np.zeros(n, dtype=float)
@@ -89,75 +90,85 @@ class ClusterSimulation:
         self._max_jobs: Optional[int] = None
         self._has_run = False
 
+        # Bound methods the event loop calls once or more per job; resolving
+        # them here keeps repeated attribute chains out of the handlers.
+        self._schedule = self._scheduler.schedule
+        self._record = self._accumulator.record
+        self._select_server = policy.select_server
+        self._sample_interarrivals = workload.arrival_process.sample_interarrival_times
+        self._sample_services = workload.service_distribution.sample
+
         # Pre-draw interarrival and service times in blocks to avoid per-event
-        # generator call overhead.
-        self._interarrival_buffer = np.empty(0)
+        # generator call overhead.  Each freshly drawn block is converted to a
+        # plain list once (one C-level pass), then consumed in place across
+        # run()/handler calls — per-job cost is a list index instead of a
+        # numpy scalar extraction plus a float() round-trip.
+        self._interarrival_buffer: List[float] = []
         self._interarrival_index = 0
-        self._service_buffer = np.empty(0)
+        self._service_buffer: List[float] = []
         self._service_index = 0
 
     # ------------------------------------------------------------------ #
     # Random-variate buffering
     # ------------------------------------------------------------------ #
     def _next_interarrival(self) -> float:
-        if self._interarrival_index >= self._interarrival_buffer.shape[0]:
-            self._interarrival_buffer = self._workload.arrival_process.sample_interarrival_times(
+        index = self._interarrival_index
+        if index >= len(self._interarrival_buffer):
+            self._interarrival_buffer = self._sample_interarrivals(
                 self._arrival_rng, 8192
-            )
-            self._interarrival_index = 0
-        value = self._interarrival_buffer[self._interarrival_index]
-        self._interarrival_index += 1
-        return float(value)
+            ).tolist()
+            index = 0
+        self._interarrival_index = index + 1
+        return self._interarrival_buffer[index]
 
     def _next_service(self) -> float:
-        if self._service_index >= self._service_buffer.shape[0]:
-            self._service_buffer = self._workload.service_distribution.sample(self._service_rng, 8192)
-            self._service_index = 0
-        value = self._service_buffer[self._service_index]
-        self._service_index += 1
-        return float(value)
+        index = self._service_index
+        if index >= len(self._service_buffer):
+            self._service_buffer = self._sample_services(self._service_rng, 8192).tolist()
+            index = 0
+        self._service_index = index + 1
+        return self._service_buffer[index]
 
     # ------------------------------------------------------------------ #
     # Event handlers
     # ------------------------------------------------------------------ #
     def _handle_arrival(self) -> None:
-        now = self._scheduler.now
-        job = _Job(arrival_time=now, service_requirement=self._next_service())
-        view = ClusterView(queue_lengths=self._queue_lengths, work_remaining=self._work_remaining)
-        server = self._policy.select_server(view, self._policy_rng)
-        if not 0 <= server < self._workload.num_servers:
+        queue_lengths = self._queue_lengths
+        job = _Job(arrival_time=self._scheduler.now, service_requirement=self._next_service())
+        view = ClusterView(queue_lengths=queue_lengths, work_remaining=self._work_remaining)
+        server = self._select_server(view, self._policy_rng)
+        if not 0 <= server < self._num_servers:
             raise RuntimeError(f"policy selected an invalid server index {server}")
         job.server = server
-        self._queue_length_seen_sum += float(self._queue_lengths[server])
+        self._queue_length_seen_sum += float(queue_lengths[server])
 
         self._queues[server].append(job)
-        self._queue_lengths[server] += 1
+        queue_lengths[server] += 1
         self._work_remaining[server] += job.service_requirement
-        if self._queue_lengths[server] == 1:
+        if queue_lengths[server] == 1:
             self._start_service(server)
 
         self._arrivals_generated += 1
         if self._max_jobs is None or self._arrivals_generated < self._max_jobs:
-            self._scheduler.schedule(self._next_interarrival(), self._handle_arrival)
+            self._schedule(self._next_interarrival(), self._handle_arrival)
 
     def _start_service(self, server: int) -> None:
         job = self._queues[server][0]
         job.start_time = self._scheduler.now
-        self._scheduler.schedule(job.service_requirement, lambda: self._handle_departure(server))
+        self._schedule(job.service_requirement, lambda: self._handle_departure(server))
 
     def _handle_departure(self, server: int) -> None:
-        now = self._scheduler.now
-        job = self._queues[server].popleft()
-        job.completion_time = now
+        queue = self._queues[server]
+        job = queue.popleft()
+        job.completion_time = self._scheduler.now
         self._queue_lengths[server] -= 1
         self._work_remaining[server] = max(0.0, self._work_remaining[server] - job.service_requirement)
         self._jobs_completed += 1
 
-        waiting_time = job.start_time - job.arrival_time
-        sojourn_time = job.completion_time - job.arrival_time
-        self._accumulator.record(waiting_time, sojourn_time)
+        arrival_time = job.arrival_time
+        self._record(job.start_time - arrival_time, job.completion_time - arrival_time)
 
-        if self._queues[server]:
+        if queue:
             self._start_service(server)
 
     # ------------------------------------------------------------------ #

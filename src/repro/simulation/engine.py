@@ -11,15 +11,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
+# Heap entries are plain ``(time, sequence, event)`` tuples: the heap sifts
+# compare time-then-sequence at C speed (the sequence both breaks ties by
+# insertion order and keeps the never-compared Event out of comparisons),
+# which is measurably faster than a dataclass-generated __lt__ in the
+# million-comparison event loops of the cluster simulator.
 
 
 class Event:
@@ -40,7 +38,7 @@ class EventScheduler:
     """Future-event list with a simulation clock."""
 
     def __init__(self) -> None:
-        self._heap: list[_ScheduledEvent] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._executed_events = 0
@@ -65,7 +63,7 @@ class EventScheduler:
         if delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
         event = Event(self._now + delay, callback)
-        heapq.heappush(self._heap, _ScheduledEvent(event.time, next(self._counter), event))
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -75,11 +73,11 @@ class EventScheduler:
     def step(self) -> bool:
         """Execute the next pending event; return False when none remain."""
         while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.event.cancelled:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
                 continue
-            self._now = entry.time
-            entry.event.callback()
+            self._now = time
+            event.callback()
             self._executed_events += 1
             return True
         return False
@@ -107,8 +105,8 @@ class EventScheduler:
             self._now = until_time
 
     def _peek_time(self) -> Optional[float]:
-        while self._heap and self._heap[0].event.cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]

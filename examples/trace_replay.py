@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Raw trace -> fitted spec -> bound bracket vs. replayed simulation.
+
+The full loop of ``repro.traces`` (docs/traces.md) on a synthetic capture:
+
+1. synthesize a bursty arrival trace from a known MMPP2 and save it to disk
+   (stand-in for a measured capture);
+2. summarize its burstiness (rate, SCV, lag autocorrelation, IDC);
+3. fit an MMPP2 and a hyperexponential renewal model to the measurement;
+4. bracket the equal-load *Poisson* system with the paper's QBD bounds;
+5. run the fitted model through the cluster backend as a replicated
+   ensemble, replay the raw trace through the same backend, and check the
+   replayed delay against the fitted model's confidence interval.
+
+Run with::
+
+    python examples/trace_replay.py
+
+Set ``REPRO_EXAMPLES_SCALE`` (e.g. ``0.02``) to shrink the trace and the
+simulated job counts for smoke runs.
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro import ExperimentSpec, run
+from repro.markov.arrival_processes import MarkovianArrivalProcess
+from repro.traces import fit_arrival, fit_hyperexponential, summarize_trace, synthesize_trace
+from repro.utils.tables import format_table
+
+SCALE = float(os.environ.get("REPRO_EXAMPLES_SCALE", "1"))
+
+NUM_SERVERS = 20
+D = 2
+UTILIZATION = 0.85
+NUM_ARRIVALS = max(4_000, int(60_000 * SCALE))
+NUM_JOBS = max(1_500, int(25_000 * SCALE))
+REPLICATIONS = 4
+
+
+def main() -> None:
+    # 1. A "measured" capture: bursty MMPP2 traffic at rho = 0.85 on N = 20.
+    truth = MarkovianArrivalProcess.mmpp2(
+        rate_high=3.0, rate_low=0.4, switch_to_low=0.05, switch_to_high=0.04
+    ).rescaled(UTILIZATION * NUM_SERVERS)
+    trace = synthesize_trace(truth, NUM_ARRIVALS, seed=20160627, meta={"capture": "demo"})
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "capture.npz"
+        trace.save(trace_path)
+
+        # 2. Burstiness summary: what the fits are matched against.
+        summary = summarize_trace(trace)
+        print(summary.as_table(title=f"capture.npz: {trace.num_arrivals} arrivals"))
+        print()
+
+        # 3. Fit: the auto family (MMPP2 for this trace) vs the renewal fit
+        #    that ignores correlation.
+        fitted = fit_arrival(summary)
+        renewal = fit_hyperexponential(summary)
+        print(fitted.as_table())
+        print()
+
+        # 4. The paper's QBD bracket for the *Poisson* system at equal load —
+        #    what a Poisson-only toolbox would predict for this cluster.
+        bracket = run(
+            ExperimentSpec.create(
+                num_servers=NUM_SERVERS, d=D, utilization=summary.rate / NUM_SERVERS
+            ),
+            backend="qbd_bounds",
+        )
+
+        # 5. Fitted model vs raw replay, through the same cluster backend.
+        spec = fitted.experiment_spec(
+            num_servers=NUM_SERVERS, d=D, num_jobs=NUM_JOBS, seed=414
+        )
+        model_run = run(spec, backend="cluster", replications=REPLICATIONS)
+        renewal_run = run(
+            renewal.experiment_spec(
+                num_servers=NUM_SERVERS, d=D, num_jobs=NUM_JOBS, seed=414
+            ),
+            backend="cluster",
+            replications=REPLICATIONS,
+        )
+        replay_spec = ExperimentSpec.create(
+            num_servers=NUM_SERVERS,
+            d=D,
+            utilization=spec.system.utilization,
+            arrival="trace",
+            arrival_params={"path": str(trace_path)},
+            num_jobs=NUM_JOBS,
+            seed=414,
+        )
+        replay_run = run(replay_spec, backend="cluster")
+
+    low, high = model_run.confidence_interval()
+    verdict = "inside" if low <= replay_run.mean_delay <= high else "OUTSIDE"
+    rows = [
+        ["Poisson lower bound (Thm 3)", bracket.extras["lower_delay"]],
+        ["Poisson upper bound (Thm 1)", bracket.extras["upper_delay"]],
+        ["hyperexponential fit (renewal)", renewal_run.mean_delay],
+        [f"fitted MMPP2 ({REPLICATIONS} replications)", model_run.mean_delay],
+        ["replayed raw trace", replay_run.mean_delay],
+    ]
+    print(
+        format_table(
+            ["estimate", "mean delay"],
+            rows,
+            title=f"SQ({D}) with N={NUM_SERVERS}, rho={spec.system.utilization:.3f}: "
+            "model vs measurement",
+        )
+    )
+    print(
+        f"replayed delay {replay_run.mean_delay:.4f} is {verdict} the fitted model's "
+        f"{model_run.confidence:.0%} CI [{low:.4f}, {high:.4f}]"
+    )
+
+    print("\nReading:")
+    print("  * The burstiness summary is the whole story: SCV > 1 with positive")
+    print("    lag correlation means Poisson (and even renewal) models understate")
+    print("    the delay — the Poisson bracket sits far below both bursty runs.")
+    print("  * The fitted MMPP2 reproduces the replayed measurement through the")
+    print("    same simulator: measurement and model agree within the CI, which")
+    print("    is the cross-validation the tier-1 suite pins down.")
+
+
+if __name__ == "__main__":
+    main()

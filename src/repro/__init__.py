@@ -94,6 +94,15 @@ from repro.fleet import (
 from repro.policies import JoinShortestQueue, PowerOfD, UniformRandom
 from repro.simulation import ClusterSimulation, simulate_sqd_ctmc
 from repro.simulation.workloads import Workload, poisson_exponential_workload
+from repro.traces import (
+    ArrivalTrace,
+    BurstinessSummary,
+    TraceArrivals,
+    TraceFit,
+    fit_arrival,
+    summarize_trace,
+    synthesize_trace,
+)
 
 __version__ = "1.3.0"
 
@@ -155,5 +164,12 @@ __all__ = [
     "run_grid",
     "ReplicationStatistics",
     "ResultStore",
+    "ArrivalTrace",
+    "BurstinessSummary",
+    "TraceArrivals",
+    "TraceFit",
+    "fit_arrival",
+    "summarize_trace",
+    "synthesize_trace",
     "__version__",
 ]

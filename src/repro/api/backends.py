@@ -85,8 +85,14 @@ class Capabilities:
         if spec.policy not in self.policies:
             return f"policy {spec.policy!r} not supported (supported: {', '.join(self.policies)})"
         if spec.workload.arrival.name not in self.arrivals:
-            return (f"arrival process {spec.workload.arrival.name!r} not supported "
-                    f"(supported: {', '.join(self.arrivals)})")
+            reason = (f"arrival process {spec.workload.arrival.name!r} not supported "
+                      f"(supported: {', '.join(self.arrivals)})")
+            if spec.workload.arrival.name in ("trace", "mmpp2"):
+                # These run only on the cluster DES; the documented escape
+                # hatch into the analytical engines is a renewal fit.
+                reason += ("; fit the workload to a supported renewal law first "
+                           "(repro.traces.fit / `repro-lb trace fit`, see docs/traces.md)")
+            return reason
         if spec.workload.service.name not in self.services:
             return (f"service distribution {spec.workload.service.name!r} not supported "
                     f"(supported: {', '.join(self.services)})")

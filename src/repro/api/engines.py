@@ -35,6 +35,7 @@ __all__ = [
     "ClusterBackend",
     "FleetBackend",
     "MeanFieldBackend",
+    "build_arrival_process",
 ]
 
 #: Largest QBD repeating-block size ``C(N+T-1, T)`` the bounds backend
@@ -127,8 +128,19 @@ def _hyperexponential(dist: DistributionSpec, mean: float, what: str):
 
 
 def _arrival_process(dist: DistributionSpec, total_rate: float):
-    """Instantiate an arrival process with aggregate rate ``total_rate``."""
-    from repro.markov.arrival_processes import PoissonArrivals, RenewalArrivals
+    """Instantiate an arrival process with aggregate rate ``total_rate``.
+
+    The spec convention is "shapes in the workload, rates from the system":
+    renewal laws are built at mean ``1 / total_rate``, an ``mmpp2`` shape is
+    time-rescaled so its aggregate rate is ``total_rate`` (burstiness
+    statistics are scale-invariant), and a ``trace`` is loaded from disk and
+    replayed — rescaled to ``total_rate`` unless ``{"rescale": false}``.
+    """
+    from repro.markov.arrival_processes import (
+        MarkovianArrivalProcess,
+        PoissonArrivals,
+        RenewalArrivals,
+    )
     from repro.markov.service_distributions import ErlangService
 
     if dist.name == "poisson":
@@ -136,11 +148,37 @@ def _arrival_process(dist: DistributionSpec, total_rate: float):
     if dist.name == "erlang":
         stages = dist.params.get("stages", 2)
         return RenewalArrivals(ErlangService(stages=stages, mean=1.0 / total_rate))
+    if dist.name == "mmpp2":
+        shape = MarkovianArrivalProcess.mmpp2(
+            rate_high=dist.params["rate_high"],
+            rate_low=dist.params["rate_low"],
+            switch_to_low=dist.params["switch_to_low"],
+            switch_to_high=dist.params["switch_to_high"],
+        )
+        return shape.rescaled(total_rate)
+    if dist.name == "trace":
+        from repro.traces.replay import TraceArrivals
+        from repro.traces.trace import ArrivalTrace, TraceError
+
+        try:
+            # Cached: replicated runs re-resolve the same immutable file once
+            # per replication, and the parse dominates short replications.
+            trace = ArrivalTrace.load_cached(dist.params["path"])
+            rescale = dist.params.get("rescale", True)
+            return TraceArrivals(trace, rate=total_rate if rescale else None)
+        except TraceError as error:
+            raise SpecError(f"workload.arrival['trace']: {error}") from None
     return RenewalArrivals(
         _hyperexponential(
             dist, 1.0 / total_rate, f"mean interarrival time 1/(rho mu N) = {1.0 / total_rate:.6g}"
         )
     )
+
+
+#: Public name of the spec-to-process translation, shared by the CLI's
+#: ``analyze --arrival`` (MAP asymptotics from the spec layer) and the
+#: trace tooling.
+build_arrival_process = _arrival_process
 
 
 @dataclass(frozen=True)
@@ -281,15 +319,16 @@ class CTMCBackend:
 class ClusterBackend:
     """Job-level discrete-event simulation — the distribution-agnostic engine.
 
-    The only backend that runs non-exponential service, renewal arrivals
-    and the work-aware policies.  Options: ``warmup_jobs`` (jobs discarded
-    before measurement; default one tenth of the job count).
+    The only backend that runs non-exponential service, renewal arrivals,
+    MAP (``mmpp2``) input, recorded-trace replay and the work-aware
+    policies.  Options: ``warmup_jobs`` (jobs discarded before measurement;
+    default one tenth of the job count).
     """
 
     capabilities = Capabilities(
         description="job-level discrete-event simulation",
         policies=("sqd", "jsq", "random", "round_robin", "jiq", "least_work_left"),
-        arrivals=("poisson", "erlang", "hyperexponential"),
+        arrivals=("poisson", "erlang", "hyperexponential", "mmpp2", "trace"),
         services=("exponential", "erlang", "hyperexponential", "deterministic"),
         max_servers=5_000,
         answer="estimate",

@@ -39,6 +39,7 @@ __all__ = [
     "HorizonSpec",
     "ExperimentSpec",
     "ARRIVALS",
+    "MMPP2_PARAMS",
     "SERVICES",
     "POLICIES",
 ]
@@ -55,8 +56,17 @@ class SpecError(ValidationError):
     """
 
 
-#: Arrival processes a spec may name (renewal processes by interarrival law).
-ARRIVALS: Tuple[str, ...] = ("poisson", "erlang", "hyperexponential")
+#: Arrival processes a spec may name: renewal laws (``poisson``, ``erlang``,
+#: ``hyperexponential``), the two-state Markov-modulated Poisson process
+#: ``mmpp2`` (correlated/bursty traffic; shape params ``rate_high``,
+#: ``rate_low``, ``switch_to_low``, ``switch_to_high``, rescaled to the
+#: system's total rate), and ``trace`` (deterministic replay of a recorded
+#: :class:`~repro.traces.trace.ArrivalTrace`; params ``path`` and optional
+#: ``rescale``).
+ARRIVALS: Tuple[str, ...] = ("poisson", "erlang", "hyperexponential", "mmpp2", "trace")
+
+#: Required numeric shape parameters of an ``mmpp2`` arrival spec.
+MMPP2_PARAMS: Tuple[str, ...] = ("rate_high", "rate_low", "switch_to_low", "switch_to_high")
 
 #: Service distributions a spec may name.
 SERVICES: Tuple[str, ...] = ("exponential", "erlang", "hyperexponential", "deterministic")
@@ -205,6 +215,25 @@ class WorkloadSpec:
                f"workload.arrival must be one of {ARRIVALS}, got {self.arrival.name!r}")
         _check(self.service.name in SERVICES,
                f"workload.service must be one of {SERVICES}, got {self.service.name!r}")
+        if self.arrival.name == "mmpp2":
+            for name in MMPP2_PARAMS:
+                value = self.arrival.params.get(name)
+                _check(isinstance(value, (int, float)) and not isinstance(value, bool)
+                       and float(value) >= 0.0,
+                       f"workload.arrival['mmpp2'] needs a numeric >= 0 param {name!r}, "
+                       f"got {value!r}")
+            _check(float(self.arrival.params["rate_high"]) > 0.0,
+                   "workload.arrival['mmpp2'] needs rate_high > 0")
+            _check(float(self.arrival.params["switch_to_low"]) > 0.0
+                   and float(self.arrival.params["switch_to_high"]) > 0.0,
+                   "workload.arrival['mmpp2'] needs positive switching rates")
+        elif self.arrival.name == "trace":
+            path = self.arrival.params.get("path")
+            _check(isinstance(path, str) and bool(path),
+                   f"workload.arrival['trace'] needs a non-empty 'path' param, got {path!r}")
+            rescale = self.arrival.params.get("rescale", True)
+            _check(isinstance(rescale, bool),
+                   f"workload.arrival['trace'] param 'rescale' must be a bool, got {rescale!r}")
 
     @property
     def is_default(self) -> bool:

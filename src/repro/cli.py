@@ -11,7 +11,11 @@ Installed as the ``repro-lb`` console script; also runnable as
 * ``sweep``     — run a custom parameter sweep and export CSV/JSON,
 * ``fleet``     — occupancy-based large-N simulation vs the mean-field limit,
 * ``ensemble``  — parallel replications of a fleet/scenario run with
-  confidence intervals and optional JSONL persistence.
+  confidence intervals and optional JSONL persistence,
+* ``trace``     — trace-driven workloads: ``trace stats`` (burstiness
+  summary of a trace file), ``trace fit`` (fit an analyzable arrival model
+  and emit a runnable spec), ``trace run`` (replay a trace through the
+  cluster simulator).
 
 ``run``, ``analyze`` and ``fleet`` all accept ``--json <path>`` and export
 through one shared serialization helper (:mod:`repro.api.serialize`), so
@@ -32,8 +36,10 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.api import (
+    DistributionSpec,
     ExperimentSpec,
     SpecError,
+    WorkloadSpec,
     backend_capabilities,
     run,
     write_json,
@@ -88,6 +94,14 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--events", type=int, default=200_000, help="simulated events when --simulate is given")
     analyze.add_argument("--exact", action="store_true", help="also solve the truncated exact chain (small N only)")
     analyze.add_argument("--seed", type=int, default=12345, help="simulation seed for reproducible runs")
+    analyze.add_argument("--arrival", choices=["poisson", "erlang", "hyperexponential", "mmpp2"],
+                         default="poisson",
+                         help="arrival process for the Theorem 2 asymptotics "
+                              "(sigma root, decay factor, improved lower bound)")
+    analyze.add_argument("--arrival-param", action="append", default=[], metavar="KEY=VALUE",
+                         help="arrival shape parameter, repeatable — e.g. "
+                              "--arrival-param stages=4, or the mmpp2 shape "
+                              "rate_high/rate_low/switch_to_low/switch_to_high")
     analyze.add_argument("--json", type=str, default=None,
                          help="also write the analysis to this JSON file")
 
@@ -160,6 +174,64 @@ def _build_parser() -> argparse.ArgumentParser:
     ensemble.add_argument("--jsonl", type=str, default=None,
                           help="append every replication record to this JSONL store")
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="trace-driven workloads: burstiness statistics, model fitting, replay",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_stats = trace_commands.add_parser(
+        "stats", help="burstiness summary of a trace file (rate, SCV, autocorrelation, IDC)"
+    )
+    trace_stats.add_argument("--trace", type=str, required=True,
+                             help="trace file (.csv, .jsonl or .npz; see docs/traces.md)")
+    trace_stats.add_argument("--lags", type=int, nargs="+", default=[1, 2, 5, 10],
+                             help="autocorrelation lags to report")
+    trace_stats.add_argument("--json", type=str, default=None,
+                             help="also write the summary to this JSON file")
+
+    trace_fit = trace_commands.add_parser(
+        "fit", help="fit an analyzable arrival model and emit a runnable experiment spec"
+    )
+    trace_fit.add_argument("--trace", type=str, required=True, help="trace file to fit")
+    trace_fit.add_argument("--family", choices=["auto", "mmpp2", "hyperexponential", "erlang", "poisson"],
+                           default="auto", help="arrival family (auto picks by burstiness)")
+    trace_fit.add_argument("--servers", "-N", type=int, required=True,
+                           help="pool size N of the emitted spec")
+    trace_fit.add_argument("--choices", "-d", type=int, default=2, help="polled servers d")
+    trace_fit.add_argument("--policy", default="sqd", help="dispatching policy of the spec")
+    trace_fit.add_argument("--service-rate", type=float, default=1.0,
+                           help="per-server service rate mu (sets rho = rate / (N mu))")
+    trace_fit.add_argument("--jobs", type=int, default=None,
+                           help="job horizon stored in the spec (cluster backend)")
+    trace_fit.add_argument("--seed", type=int, default=12345, help="seed stored in the spec")
+    trace_fit.add_argument("--spec-out", type=str, default=None,
+                           help="write the fitted ExperimentSpec JSON here "
+                                "(ready for `repro-lb run --spec`)")
+    trace_fit.add_argument("--json", type=str, default=None,
+                           help="also write the fit diagnostics to this JSON file")
+
+    trace_run = trace_commands.add_parser(
+        "run", help="replay a trace through the cluster simulator via repro.run"
+    )
+    trace_run.add_argument("--trace", type=str, required=True, help="trace file to replay")
+    trace_run.add_argument("--servers", "-N", type=int, required=True, help="pool size N")
+    trace_run.add_argument("--choices", "-d", type=int, default=2, help="polled servers d")
+    trace_run.add_argument("--policy", default="sqd", help="dispatching policy")
+    trace_run.add_argument("--utilization", "-u", type=float, default=None,
+                           help="replay rescaled to this per-server load "
+                                "(default: the load the trace's own rate implies)")
+    trace_run.add_argument("--service-rate", type=float, default=1.0,
+                           help="per-server service rate mu")
+    trace_run.add_argument("--jobs", type=int, default=None, help="jobs to simulate")
+    trace_run.add_argument("--replications", "-K", type=int, default=None,
+                           help="independent replications (service/policy streams re-seeded; "
+                                "the arrival sequence is the trace, replayed identically)")
+    trace_run.add_argument("--workers", "-w", type=int, default=1, help="worker processes")
+    trace_run.add_argument("--seed", type=int, default=12345, help="base seed")
+    trace_run.add_argument("--json", type=str, default=None,
+                           help="write the full RunResult to this JSON file")
+
     return parser
 
 
@@ -203,17 +275,121 @@ def _command_backends(args: argparse.Namespace) -> int:
                 "yes" if capabilities.supports_scenarios else "no",
                 n_range,
                 " ".join(capabilities.policies),
+                " ".join(capabilities.arrivals),
                 " ".join(capabilities.services),
             ]
         )
     print(
         format_table(
-            ["backend", "answer", "deterministic", "scenarios", "N range", "policies", "services"],
+            ["backend", "answer", "deterministic", "scenarios", "N range", "policies",
+             "arrivals", "services"],
             rows,
             title="registered backends (auto picks the cheapest capable estimator)",
         )
     )
     return 0
+
+
+def _parse_param_pairs(pairs: Sequence[str], what: str) -> dict:
+    """``KEY=VALUE`` flags into a params dict (ints, then floats, then strings)."""
+    params = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key.strip():
+            raise SystemExit(f"{what}: expected KEY=VALUE, got {pair!r}")
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key.strip()] = value
+    return params
+
+
+def _arrival_asymptotics(args: argparse.Namespace) -> dict:
+    """Theorem 2 asymptotics of a non-Poisson arrival spec (``analyze --arrival``).
+
+    Builds the arrival process exactly as the engines would — through the
+    workload spec layer — then reports the GI/M/1-type sigma root, the
+    ``sigma^N`` decay factor, the improved lower bound it induces, and (for
+    MAPs) the analytic burstiness statistics.
+    """
+    from repro.api.engines import build_arrival_process
+    from repro.core.improved_lower import solve_improved_lower_bound
+    from repro.core.model import SQDModel
+    from repro.markov.arrival_processes import (
+        MarkovianArrivalProcess,
+        beta_coefficients,
+        solve_sigma,
+    )
+
+    from repro.linalg.logarithmic_reduction import QBDSolveError
+    from repro.utils.validation import ValidationError
+
+    params = _parse_param_pairs(args.arrival_param, "repro-lb analyze --arrival-param")
+    try:
+        workload = WorkloadSpec(arrival=DistributionSpec(args.arrival, params))
+        total_rate = args.utilization * args.servers
+        process = build_arrival_process(workload.arrival, total_rate)
+        sigma = solve_sigma(process, service_rate=float(args.servers))
+        decay = sigma ** args.servers
+        betas = beta_coefficients(process, service_rate=float(args.servers), max_k=8)
+    except ValidationError as error:
+        # SpecError subclasses ValidationError; shape params that pass spec
+        # validation can still fail at process construction (e.g. stages=0).
+        raise SystemExit(f"repro-lb analyze: {error}")
+    model = SQDModel(num_servers=args.servers, d=args.choices, utilization=args.utilization)
+    try:
+        improved = solve_improved_lower_bound(model, args.threshold, decay_factor=decay)
+        lower_bound = improved.mean_delay
+    except QBDSolveError:
+        # Bursty inputs can push the decay factor beyond where the scalar-
+        # geometric boundary solve keeps positivity — report the root and
+        # flag the bound instead of crashing.
+        lower_bound = None
+    rows = [
+        ["sigma (Thm 2 root)", sigma],
+        ["decay factor sigma^N", decay],
+        [
+            "improved lower bound (Thm 2)",
+            "not computable (boundary solve fails at this decay)"
+            if lower_bound is None
+            else lower_bound,
+        ],
+    ]
+    payload = {
+        "arrival": workload.arrival.to_dict(),
+        "sigma": sigma,
+        "decay_factor": decay,
+        "improved_lower_bound": lower_bound,
+        "beta_coefficients": betas,
+    }
+    if isinstance(process, MarkovianArrivalProcess):
+        rows.extend(
+            [
+                ["interarrival SCV", process.interarrival_scv],
+                ["lag-1 autocorrelation", process.lag_autocorrelation(1)],
+                ["IDC (limit)", process.asymptotic_idc()],
+            ]
+        )
+        payload.update(
+            {
+                "interarrival_scv": process.interarrival_scv,
+                "lag1_autocorrelation": process.lag_autocorrelation(1),
+                "asymptotic_idc": process.asymptotic_idc(),
+            }
+        )
+    print(
+        format_table(
+            ["statistic", "value"],
+            rows,
+            title=f"{args.arrival} arrivals: Theorem 2 asymptotics (renewal "
+            "approximation for MAPs)",
+        )
+    )
+    return payload
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
@@ -243,6 +419,9 @@ def _command_analyze(args: argparse.Namespace) -> int:
         "mean delay (sojourn time)"
     )
     print(format_table(["method", "mean delay"], rows, title=title))
+    arrival_payload = None
+    if args.arrival != "poisson" or args.arrival_param:
+        arrival_payload = _arrival_asymptotics(args)
     if args.json:
         payload = {
             "command": "analyze",
@@ -258,6 +437,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
             "upper_bound_unstable": analysis.upper_bound_unstable,
             "provenance": provenance(),
         }
+        if arrival_payload is not None:
+            payload["arrival_asymptotics"] = arrival_payload
         print(f"wrote {write_json(args.json, payload)}")
     return 0
 
@@ -515,6 +696,118 @@ def _command_ensemble(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.traces import (
+        ArrivalTrace,
+        TraceError,
+        TraceFitError,
+        fit_arrival,
+        summarize_trace,
+    )
+
+    try:
+        trace = ArrivalTrace.load(args.trace)
+    except TraceError as error:
+        raise SystemExit(f"repro-lb trace {args.trace_command}: {error}")
+    trace_path = Path(args.trace).resolve()
+
+    if args.trace_command == "stats":
+        try:
+            summary = summarize_trace(trace, lags=args.lags)
+        except TraceError as error:
+            raise SystemExit(f"repro-lb trace stats: {error}")
+        print(summary.as_table(title=f"{trace_path.name}: burstiness summary"))
+        if trace.meta:
+            for key in sorted(trace.meta):
+                print(f"meta {key}: {trace.meta[key]}")
+        if args.json:
+            payload = {
+                "command": "trace stats",
+                "trace": str(trace_path),
+                "meta": trace.meta,
+                "results": summary.to_dict(),
+                "provenance": provenance(),
+            }
+            print(f"wrote {write_json(args.json, payload)}")
+        return 0
+
+    if args.trace_command == "fit":
+        try:
+            fit = fit_arrival(trace, family=args.family)
+            spec = fit.experiment_spec(
+                num_servers=args.servers,
+                d=args.choices,
+                policy=args.policy,
+                service_rate=args.service_rate,
+                num_jobs=args.jobs,
+                seed=args.seed,
+            )
+        except (TraceFitError, TraceError, SpecError) as error:
+            raise SystemExit(f"repro-lb trace fit: {error}")
+        print(fit.as_table())
+        print(f"spec: {spec.describe()} (rho = {spec.system.utilization:.6g})")
+        if args.spec_out:
+            spec_path = Path(args.spec_out)
+            spec_path.parent.mkdir(parents=True, exist_ok=True)
+            spec_path.write_text(spec.to_json(indent=2) + "\n", encoding="utf-8")
+            print(f"wrote {spec_path}")
+        if args.json:
+            payload = {
+                "command": "trace fit",
+                "trace": str(trace_path),
+                "family": fit.family,
+                "converged": fit.converged,
+                "target": dict(fit.target),
+                "achieved": dict(fit.achieved),
+                "spec": spec.to_dict(),
+                "provenance": provenance(),
+            }
+            print(f"wrote {write_json(args.json, payload)}")
+        return 0
+
+    # trace run: replay through the cluster DES via repro.run.
+    mu = args.service_rate
+    if args.utilization is not None:
+        utilization = args.utilization
+    else:
+        try:
+            utilization = trace.rate / (args.servers * mu)
+        except TraceError as error:
+            raise SystemExit(f"repro-lb trace run: {error}")
+        if not 0.0 < utilization < 1.0:
+            raise SystemExit(
+                f"repro-lb trace run: the trace's rate implies rho = {utilization:.4g} "
+                f"on N={args.servers} at mu={mu:g}; pass --utilization (the replay is "
+                "rescaled) or resize the pool"
+            )
+    try:
+        spec = ExperimentSpec.create(
+            num_servers=args.servers,
+            d=args.choices,
+            utilization=utilization,
+            service_rate=mu,
+            arrival="trace",
+            arrival_params={"path": str(trace_path)},
+            policy=args.policy,
+            num_jobs=args.jobs,
+            seed=args.seed,
+        )
+        result = run(
+            spec,
+            backend="cluster",
+            replications=args.replications,
+            workers=args.workers,
+        )
+    except SpecError as error:
+        raise SystemExit(f"repro-lb trace run: {error}")
+    print(result.as_table())
+    print(f"mean delay {result}")
+    if args.json:
+        print(f"wrote {result.write_json(args.json)}")
+    print(f"wall-clock: {result.wall_seconds:.2f}s on {args.workers} worker(s)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-lb`` console script."""
     parser = _build_parser()
@@ -528,6 +821,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _command_sweep,
         "fleet": _command_fleet,
         "ensemble": _command_ensemble,
+        "trace": _command_trace,
     }
     return handlers[args.command](args)
 

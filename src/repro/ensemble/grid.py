@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.spec import ExperimentSpec, ScenarioSpec, SpecError, SystemSpec
+from repro.api.spec import ExperimentSpec, HorizonSpec, ScenarioSpec, SpecError, SystemSpec, WorkloadSpec
 from repro.ensemble.runner import (
     EnsembleConfig,
     EnsembleResult,
@@ -83,6 +83,18 @@ class GridConfig:
     kernel : str
         Event kernel for the fleet points (``"auto"``, ``"python"``,
         ``"uniformized"``); recorded in every replication record.
+    workloads : sequence, optional
+        Workload axis: :class:`~repro.api.spec.WorkloadSpec` instances (or
+        their ``to_dict`` mappings).  When given, every ``(N, d, rho)``
+        point is crossed with every workload; points whose workload is the
+        paper's default Poisson + exponential run on the fleet engine,
+        everything else (fitted ``mmpp2``/renewal shapes, ``trace``
+        replays) routes to the cluster DES — which is how a sweep compares
+        a fitted trace model against the Poisson baseline at every scale.
+        Incompatible with ``scenarios``.
+    num_jobs : int or None
+        Job horizon per replication for the cluster-backed workload points
+        (``None`` = the cluster backend's default).
     """
 
     server_counts: Sequence[int] = (100, 1000)
@@ -98,6 +110,8 @@ class GridConfig:
     bounds: bool = False
     threshold: int = 3
     kernel: str = "auto"
+    workloads: Sequence[Any] = ()
+    num_jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_integer("num_events", self.num_events, minimum=1)
@@ -126,13 +140,40 @@ class GridConfig:
                     f"kernel {self.kernel!r} cannot run policy {self.policy!r} "
                     f"with d={d}: {reason}"
                 )
+        if self.workloads:
+            if self.scenarios:
+                raise SpecError(
+                    "GridConfig cannot sweep workloads and scenarios together "
+                    "(scenarios run on the fleet engine, which is Poisson-only)"
+                )
+            normalized = tuple(
+                workload if isinstance(workload, WorkloadSpec) else WorkloadSpec.from_dict(workload)
+                for workload in self.workloads
+            )
+            object.__setattr__(self, "workloads", normalized)
+        if self.num_jobs is not None:
+            check_integer("num_jobs", self.num_jobs, minimum=1)
+
+    @staticmethod
+    def workload_label(workload: WorkloadSpec) -> str:
+        """Stable short label for a workload axis value.
+
+        The arrival name, suffixed with a digest of the full workload dict
+        when any shape parameter is set — labels feed the content-addressed
+        per-point seeds, so two different fitted shapes must never collide.
+        """
+        if workload.is_default and not workload.arrival.params and not workload.service.params:
+            return "poisson"
+        payload = json.dumps(workload.to_dict(), sort_keys=True).encode()
+        return f"{workload.arrival.name}#{hashlib.sha256(payload).hexdigest()[:8]}"
 
     def points(self) -> List[Dict[str, Any]]:
         """Expand the grid into per-point experiment specs.
 
         Every point is ``{"spec": ExperimentSpec, "backend": str,
-        "labels": {...}}``; both stationary and scenario points run on the
-        occupancy fleet backend.
+        "labels": {...}}``.  Stationary and scenario points run on the
+        occupancy fleet backend; non-default workload points (the
+        ``workloads`` axis) run on the cluster DES.
         """
         expanded: List[Dict[str, Any]] = []
         options = {} if self.kernel == "auto" else {"kernel": self.kernel}
@@ -151,6 +192,36 @@ class GridConfig:
                         ),
                         "backend": "fleet",
                         "labels": {"N": n, "d": d, "scenario": scenario},
+                    }
+                )
+            return expanded
+        if self.workloads:
+            axes = itertools.product(
+                self.server_counts, self.choices, self.utilizations, self.workloads
+            )
+            for n, d, utilization, workload in axes:
+                if d > n:
+                    continue
+                on_fleet = workload.is_default
+                expanded.append(
+                    {
+                        "spec": ExperimentSpec(
+                            system=SystemSpec(num_servers=n, d=d, utilization=utilization),
+                            workload=workload,
+                            policy=self.policy,
+                            horizon=HorizonSpec(
+                                num_events=self.num_events if on_fleet else None,
+                                num_jobs=None if on_fleet else self.num_jobs,
+                            ),
+                            options=options if on_fleet else {},
+                        ),
+                        "backend": "fleet" if on_fleet else "cluster",
+                        "labels": {
+                            "N": n,
+                            "d": d,
+                            "utilization": utilization,
+                            "workload": self.workload_label(workload),
+                        },
                     }
                 )
             return expanded
@@ -260,6 +331,12 @@ def _point_bounds(config: GridConfig, labels: Mapping[str, Any]) -> Optional[Dic
     from repro.api.engines import MAX_QBD_BLOCK
 
     if config.policy != "sqd" or "utilization" not in labels:
+        return None
+    if labels.get("workload", "poisson") != "poisson":
+        # The QBD bracket is a Poisson + exponential result; annotating a
+        # fitted/bursty workload with it would silently compare apples to
+        # oranges (the Poisson bracket stays available as an explicit
+        # baseline point on the workload axis).
         return None
     n, d = int(labels["N"]), int(labels["d"])
     block = _math.comb(n + config.threshold - 1, config.threshold)

@@ -163,6 +163,104 @@ class MarkovianArrivalProcess(ArrivalProcess):
     def stationary_phase_distribution(self) -> np.ndarray:
         return self._phase_distribution.copy()
 
+    # ------------------------------------------------------------------ #
+    # Stationary interarrival-time structure (Palm calculus)
+    # ------------------------------------------------------------------ #
+    def embedded_transition_matrix(self) -> np.ndarray:
+        """Phase-transition matrix ``P = (-D0)^{-1} D1`` at arrival epochs."""
+        return np.linalg.solve(-self._D0, self._D1)
+
+    def arrival_phase_distribution(self) -> np.ndarray:
+        """Stationary phase distribution just after an arrival.
+
+        The left eigenvector of the embedded chain ``P = (-D0)^{-1} D1``,
+        equivalently ``pi D1 / rate`` with ``pi`` the time-stationary phase
+        distribution — the Palm distribution under which the interarrival
+        moments below are taken.
+        """
+        weights = self._phase_distribution @ self._D1
+        return weights / weights.sum()
+
+    def interarrival_moment(self, order: int) -> float:
+        """``E[T^k]`` of the stationary interarrival time, ``k = order``.
+
+        Closed form ``k! pi_a (-D0)^{-k} 1`` from the stationary-interval
+        LST ``pi_a (sI - D0)^{-1} D1 1``.
+        """
+        if order < 1:
+            raise ValidationError("moment order must be >= 1")
+        vector = np.ones(self.num_phases)
+        for _ in range(order):
+            vector = np.linalg.solve(-self._D0, vector)
+        return float(math.factorial(order) * (self.arrival_phase_distribution() @ vector))
+
+    @property
+    def interarrival_scv(self) -> float:
+        """Squared coefficient of variation of the stationary interarrival time."""
+        mean = self.interarrival_moment(1)
+        return self.interarrival_moment(2) / mean ** 2 - 1.0
+
+    def lag_autocovariance(self, lag: int) -> float:
+        """``Cov[T_0, T_lag]`` between interarrival times ``lag`` apart.
+
+        ``E[T_0 T_k] = pi_a (-D0)^{-1} P^k (-D0)^{-1} 1`` with ``P`` the
+        embedded phase chain; a renewal MAP (one phase) has zero covariance
+        at every positive lag.
+        """
+        if lag < 1:
+            raise ValidationError("lag must be >= 1")
+        transition = self.embedded_transition_matrix()
+        vector = np.linalg.solve(-self._D0, np.ones(self.num_phases))
+        vector = np.linalg.matrix_power(transition, lag) @ vector
+        left = self.arrival_phase_distribution() @ np.linalg.inv(-self._D0)
+        joint = float(left @ vector)
+        return joint - self.interarrival_moment(1) ** 2
+
+    def lag_autocorrelation(self, lag: int) -> float:
+        """Lag-``k`` autocorrelation of the stationary interarrival sequence."""
+        mean = self.interarrival_moment(1)
+        variance = self.interarrival_moment(2) - mean ** 2
+        if variance <= 0.0:
+            return 0.0
+        return self.lag_autocovariance(lag) / variance
+
+    def asymptotic_idc(self) -> float:
+        """Limiting index of dispersion for counts ``lim_t Var[N(t)] / E[N(t)]``.
+
+        ``1 + 2 (pi D1 (1 pi - Q)^{-1} D1 1) / rate - 2 rate`` with
+        ``Q = D0 + D1``; equals 1 for Poisson input and grows with
+        burstiness (for MMPP2 it reduces to the classical
+        ``1 + 2 s1 s2 (r1 - r2)^2 / ((s1 + s2)^2 (s2 r1 + s1 r2))``).
+        """
+        n = self.num_phases
+        pi = self._phase_distribution
+        ones = np.ones(n)
+        fundamental = np.linalg.solve(np.outer(ones, pi) - (self._D0 + self._D1), self._D1 @ ones)
+        return float(1.0 + 2.0 * (pi @ self._D1 @ fundamental) / self._rate - 2.0 * self._rate)
+
+    def interarrival_lst(self, s: float) -> float:
+        """LST of the *stationary* interarrival time, ``pi_a (sI - D0)^{-1} D1 1``.
+
+        Exact for the marginal interval of any MAP; for a non-renewal MAP,
+        feeding it to :func:`solve_sigma` yields the renewal approximation
+        of the decay root (intervals are treated as i.i.d., their
+        correlation is ignored).
+        """
+        matrix = s * np.eye(self.num_phases) - self._D0
+        vector = np.linalg.solve(matrix, self._D1 @ np.ones(self.num_phases))
+        return float(self.arrival_phase_distribution() @ vector)
+
+    def rescaled(self, rate: float) -> "MarkovianArrivalProcess":
+        """The same MAP with time rescaled so the aggregate rate is ``rate``.
+
+        Multiplying ``D0`` and ``D1`` by a positive constant preserves every
+        dimensionless burstiness statistic (SCV, lag correlations, IDC) —
+        it is how a fitted shape is laid onto a spec's total arrival rate.
+        """
+        check_positive("rate", rate)
+        factor = rate / self._rate
+        return MarkovianArrivalProcess(self._D0 * factor, self._D1 * factor)
+
     def sample_interarrival_times(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Sample consecutive interarrival times by simulating the phase process."""
         num_phases = self.num_phases
@@ -231,6 +329,20 @@ def beta_coefficients(arrival_process: ArrivalProcess, service_rate: float, max_
         rho = arrival_process.rate / service_rate
         return [rho / (1.0 + rho) ** (k + 1) for k in range(max_k + 1)]
 
+    if isinstance(arrival_process, MarkovianArrivalProcess):
+        # Stationary-interval density pi_a e^{D0 t} D1 1 gives the closed form
+        # beta_k = mu^k pi_a (mu I - D0)^{-(k+1)} D1 1 — no quadrature needed.
+        n = arrival_process.num_phases
+        matrix = service_rate * np.eye(n) - arrival_process.D0
+        vector = arrival_process.D1 @ np.ones(n)
+        pi_a = arrival_process.arrival_phase_distribution()
+        coefficients = []
+        vector = np.linalg.solve(matrix, vector)
+        for k in range(max_k + 1):
+            coefficients.append(float(service_rate ** k * (pi_a @ vector)))
+            vector = np.linalg.solve(matrix, vector)
+        return coefficients
+
     distribution = getattr(arrival_process, "interarrival_distribution", None)
     if distribution is not None and hasattr(distribution, "pdf"):
         coefficients = []
@@ -276,8 +388,19 @@ def solve_sigma(arrival_process: ArrivalProcess, service_rate: float = 1.0, tole
     if isinstance(arrival_process, PoissonArrivals):
         return rho
 
+    # Memoize LST evaluations for the duration of the solve: brentq and the
+    # fallback iteration revisit bracket endpoints, and each evaluation can
+    # cost a scipy quadrature for interarrival laws without closed forms.
+    lst_cache: dict = {}
+
+    def cached_lst(s: float) -> float:
+        value = lst_cache.get(s)
+        if value is None:
+            value = lst_cache[s] = arrival_process.interarrival_lst(s)
+        return value
+
     def fixed_point_gap(x: float) -> float:
-        return arrival_process.interarrival_lst(service_rate * (1.0 - x)) - x
+        return cached_lst(service_rate * (1.0 - x)) - x
 
     # fixed_point_gap(0) = A*(mu) > 0 and fixed_point_gap(1) = 0; the root in
     # (0, 1) is the unique point where the convex transform crosses x.
@@ -287,7 +410,7 @@ def solve_sigma(arrival_process: ArrivalProcess, service_rate: float = 1.0, tole
         # stability; fall back to iteration from rho.
         x = rho
         for _ in range(10_000):
-            next_x = arrival_process.interarrival_lst(service_rate * (1.0 - x))
+            next_x = cached_lst(service_rate * (1.0 - x))
             if abs(next_x - x) < tolerance:
                 return float(next_x)
             x = next_x

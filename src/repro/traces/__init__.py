@@ -1,0 +1,64 @@
+"""repro.traces — trace-driven workloads: measure, fit, replay.
+
+The workload layer the ROADMAP's "any scenario you can imagine" goal was
+missing: arrival *measurements* as first-class citizens next to arrival
+*models*.
+
+* :class:`ArrivalTrace` (:mod:`repro.traces.trace`) — the container:
+  timestamps + optional job sizes + git-style provenance, with bitwise
+  CSV/JSONL/NPZ round-trips, windowing and rescaling;
+* :func:`summarize_trace` (:mod:`repro.traces.stats`) — rate, interarrival
+  SCV, lag-``k`` autocorrelation and the index of dispersion for counts:
+  the burstiness statistics everything else keys on;
+* :func:`fit_arrival` (:mod:`repro.traces.fit`) — MMPP2 / hyperexponential
+  / Erlang moment matching, turning a measurement into an analyzable
+  :class:`~repro.api.spec.DistributionSpec`;
+* :class:`TraceArrivals` / :func:`synthesize_trace`
+  (:mod:`repro.traces.replay`) — deterministic replay through the cluster
+  simulator, and seeded export of any arrival process back into a trace.
+
+The spec layer names the two new workloads ``"trace"`` (replay) and
+``"mmpp2"`` (fitted model); ``repro-lb trace stats|fit|run`` drives the
+whole loop from the command line, and ``docs/traces.md`` walks the raw
+trace → fitted spec → bound bracket vs. replayed simulation path.
+"""
+
+from repro.traces.fit import (
+    FAMILIES,
+    TraceFit,
+    TraceFitError,
+    fit_arrival,
+    fit_erlang,
+    fit_hyperexponential,
+    fit_mmpp2,
+    fit_poisson,
+)
+from repro.traces.replay import TraceArrivals, synthesize_trace
+from repro.traces.stats import (
+    BurstinessSummary,
+    index_of_dispersion,
+    interarrival_scv,
+    lag_autocorrelation,
+    summarize_trace,
+)
+from repro.traces.trace import ArrivalTrace, TraceError
+
+__all__ = [
+    "ArrivalTrace",
+    "TraceError",
+    "BurstinessSummary",
+    "summarize_trace",
+    "interarrival_scv",
+    "lag_autocorrelation",
+    "index_of_dispersion",
+    "FAMILIES",
+    "TraceFit",
+    "TraceFitError",
+    "fit_arrival",
+    "fit_mmpp2",
+    "fit_hyperexponential",
+    "fit_erlang",
+    "fit_poisson",
+    "TraceArrivals",
+    "synthesize_trace",
+]

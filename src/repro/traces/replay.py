@@ -1,0 +1,169 @@
+"""Trace replay and synthesis: traces as first-class arrival processes.
+
+:class:`TraceArrivals` adapts an :class:`~repro.traces.trace.ArrivalTrace`
+to the :class:`~repro.markov.arrival_processes.ArrivalProcess` interface, so
+a measured workload drives the job-level cluster simulator exactly like any
+stochastic model — except deterministically: ``sample_interarrival_times``
+ignores the RNG and pages through the recorded gaps in order (cycling at the
+end by default).  :func:`synthesize_trace` goes the other way, exporting a
+seeded sample path of *any* arrival process as a trace — which is how the
+fit layer is validated end-to-end (synthesize from a known model, fit, and
+compare the replayed trace against the fitted model through the same
+simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.markov.arrival_processes import ArrivalProcess
+from repro.traces.trace import ArrivalTrace, TraceError
+from repro.utils.seeding import spawn_rngs
+
+__all__ = ["TraceArrivals", "synthesize_trace"]
+
+
+class TraceArrivals(ArrivalProcess):
+    """Deterministic replay of a recorded trace through the simulators.
+
+    Parameters
+    ----------
+    trace : ArrivalTrace
+        At least two arrivals spanning positive time.
+    rate : float, optional
+        Replay the trace time-rescaled to this aggregate rate (burstiness
+        statistics are scale-invariant, so only the clock changes).  The
+        default replays at the trace's empirical rate.
+    loop : bool
+        Cycle back to the first interarrival when the trace is exhausted
+        (default).  With ``loop=False`` a draw past the end raises
+        :class:`~repro.traces.trace.TraceError` — use it when accidentally
+        wrapping a short trace must be an error rather than a repeat.
+
+    Notes
+    -----
+    Replay is deterministic: the RNG argument of
+    :meth:`sample_interarrival_times` is ignored, every replication of a
+    replayed workload sees the identical arrival sequence, and
+    :meth:`reset` rewinds to the beginning.
+    """
+
+    def __init__(self, trace: ArrivalTrace, rate: Optional[float] = None, loop: bool = True):
+        if trace.num_arrivals < 2:
+            raise TraceError("trace replay needs at least two arrivals")
+        intervals = trace.interarrival_times()
+        total = float(intervals.sum())
+        if total <= 0.0:
+            raise TraceError("trace replay needs arrivals spanning positive time")
+        empirical_rate = intervals.size / total
+        if rate is not None:
+            if rate <= 0.0:
+                raise TraceError(f"replay rate must be > 0, got {rate!r}")
+            intervals = intervals * (empirical_rate / rate)
+        self._trace = trace
+        self._intervals = intervals
+        self._rate = empirical_rate if rate is None else float(rate)
+        self._loop = bool(loop)
+        self._position = 0
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def trace(self) -> ArrivalTrace:
+        return self._trace
+
+    @property
+    def loop(self) -> bool:
+        return self._loop
+
+    @property
+    def position(self) -> int:
+        """Index of the next interarrival to be replayed (total draws so far)."""
+        return self._position
+
+    def is_renewal(self) -> bool:
+        """A replayed trace is a fixed sample path, not an i.i.d. sequence."""
+        return False
+
+    def reset(self) -> None:
+        """Rewind the replay to the first interarrival."""
+        self._position = 0
+
+    def sample_interarrival_times(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """The next ``size`` recorded interarrivals (the RNG is ignored)."""
+        if size < 0:
+            raise TraceError(f"size must be >= 0, got {size!r}")
+        n = self._intervals.size
+        start = self._position
+        if not self._loop and start + size > n:
+            raise TraceError(
+                f"trace exhausted: {size} interarrivals requested at position {start} "
+                f"of {n} (construct TraceArrivals(loop=True) to cycle)"
+            )
+        indices = (start + np.arange(size)) % n
+        self._position = start + size
+        return self._intervals[indices].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceArrivals({self._trace.num_arrivals} arrivals, rate={self._rate:.4g}, "
+            f"loop={self._loop})"
+        )
+
+
+def synthesize_trace(
+    arrival_process: ArrivalProcess,
+    num_arrivals: int,
+    seed: Optional[int] = 12345,
+    start_time: float = 0.0,
+    service_distribution=None,
+    meta: Optional[Mapping[str, str]] = None,
+) -> ArrivalTrace:
+    """Export a seeded sample path of any arrival process as a trace.
+
+    Parameters
+    ----------
+    arrival_process : ArrivalProcess
+        The generator — Poisson, renewal, MAP, or even another
+        :class:`TraceArrivals` (which re-records the replay).
+    num_arrivals : int
+        Number of arrivals to record.
+    seed : int or None
+        Seed for the arrival (and optional job-size) stream; the trace is a
+        deterministic function of ``(arrival_process, num_arrivals, seed)``.
+    start_time : float
+        Timestamp of... the origin: the first arrival lands one interarrival
+        after it.
+    service_distribution : ServiceDistribution, optional
+        When given, per-job sizes are sampled from it (independent stream).
+    meta : mapping, optional
+        Extra provenance entries; the generator and seed are always recorded.
+
+    Returns
+    -------
+    ArrivalTrace
+        With provenance ``source=synthesized:<process repr>`` and the seed.
+    """
+    if num_arrivals < 1:
+        raise TraceError(f"num_arrivals must be >= 1, got {num_arrivals!r}")
+    if start_time < 0.0:
+        raise TraceError(f"start_time must be >= 0, got {start_time!r}")
+    arrival_rng, size_rng = spawn_rngs(seed, 2)
+    intervals = arrival_process.sample_interarrival_times(arrival_rng, num_arrivals)
+    times = start_time + np.cumsum(intervals)
+    sizes = None
+    if service_distribution is not None:
+        sizes = service_distribution.sample(size_rng, num_arrivals)
+    provenance = {
+        "source": f"synthesized:{arrival_process!r}",
+        "seed": str(seed),
+    }
+    if service_distribution is not None:
+        provenance["service"] = repr(service_distribution)
+    if meta:
+        provenance.update({str(k): str(v) for k, v in meta.items()})
+    return ArrivalTrace(times, sizes, provenance)

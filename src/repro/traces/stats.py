@@ -1,0 +1,224 @@
+"""Burstiness statistics of an arrival trace.
+
+Everything a workload model is fitted against, estimated directly from the
+timestamps: the empirical rate, the squared coefficient of variation (SCV)
+of the interarrival times, their lag-``k`` autocorrelations, and the index
+of dispersion for counts (IDC) over a ladder of window sizes.  A Poisson
+stream has SCV = 1, zero autocorrelation and IDC = 1 at every window;
+burstiness pushes all three up — exactly the statistics the MMPP2 fit in
+:mod:`repro.traces.fit` matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.trace import ArrivalTrace, TraceError
+from repro.utils.tables import format_table
+
+__all__ = [
+    "interarrival_scv",
+    "lag_autocorrelation",
+    "index_of_dispersion",
+    "default_idc_windows",
+    "BurstinessSummary",
+    "summarize_trace",
+]
+
+#: Default autocorrelation lags reported by :func:`summarize_trace`.
+DEFAULT_LAGS: Tuple[int, ...] = (1, 2, 5, 10)
+
+#: Default IDC windows, in multiples of the mean interarrival time.
+DEFAULT_IDC_MULTIPLES: Tuple[float, ...] = (10.0, 50.0, 250.0)
+
+
+def _interarrivals(trace: ArrivalTrace, minimum: int = 3) -> np.ndarray:
+    intervals = trace.interarrival_times()
+    if intervals.size < minimum:
+        raise TraceError(
+            f"statistic needs at least {minimum + 1} arrivals, trace has {trace.num_arrivals}"
+        )
+    return intervals
+
+
+def interarrival_scv(trace: ArrivalTrace) -> float:
+    """Squared coefficient of variation ``Var[T] / E[T]^2`` of the interarrivals."""
+    intervals = _interarrivals(trace)
+    mean = float(intervals.mean())
+    if mean <= 0.0:
+        raise TraceError("interarrival SCV needs a positive mean interarrival time")
+    return float(intervals.var() / mean ** 2)
+
+
+def lag_autocorrelation(trace: ArrivalTrace, lag: int) -> float:
+    """Lag-``k`` autocorrelation of the interarrival sequence.
+
+    The standard biased estimator ``sum((x_i - m)(x_{i+k} - m)) /
+    sum((x_i - m)^2)``; zero for a renewal stream, positive for traffic
+    whose long and short gaps cluster (bursts).
+    """
+    if lag < 1:
+        raise TraceError(f"lag must be >= 1, got {lag!r}")
+    intervals = _interarrivals(trace, minimum=lag + 2)
+    centered = intervals - intervals.mean()
+    denominator = float(np.dot(centered, centered))
+    if denominator <= 0.0:
+        return 0.0
+    return float(np.dot(centered[:-lag], centered[lag:]) / denominator)
+
+
+def index_of_dispersion(trace: ArrivalTrace, window: float) -> float:
+    """Index of dispersion for counts over windows of length ``window``.
+
+    The trace's span is tiled into consecutive windows of the given length
+    (a trailing partial window is dropped) and the ratio
+    ``Var[N] / E[N]`` of the per-window arrival counts is returned.  At
+    least 2 full windows must fit.
+    """
+    if window <= 0.0:
+        raise TraceError(f"IDC window must be > 0, got {window!r}")
+    if trace.num_arrivals < 2 or trace.duration <= 0.0:
+        raise TraceError("IDC needs at least two arrivals spanning positive time")
+    times = trace.arrival_times
+    start, stop = float(times[0]), float(times[-1])
+    num_windows = int((stop - start) / window)
+    if num_windows < 2:
+        raise TraceError(
+            f"IDC window {window:g} leaves {num_windows} full window(s) in a trace "
+            f"spanning {stop - start:g}; use a smaller window"
+        )
+    edges = start + window * np.arange(num_windows + 1)
+    counts = np.diff(np.searchsorted(times, edges, side="left"))
+    mean = float(counts.mean())
+    if mean <= 0.0:
+        return 0.0
+    return float(counts.var() / mean)
+
+
+def default_idc_windows(trace: ArrivalTrace) -> Tuple[float, ...]:
+    """A ladder of IDC windows that fits this trace.
+
+    Multiples of the mean interarrival time (:data:`DEFAULT_IDC_MULTIPLES`),
+    keeping only windows that tile the span at least 4 times.
+    """
+    mean_gap = 1.0 / trace.rate
+    span = trace.duration
+    return tuple(
+        mean_gap * multiple
+        for multiple in DEFAULT_IDC_MULTIPLES
+        if span / (mean_gap * multiple) >= 4.0
+    )
+
+
+@dataclass(frozen=True)
+class BurstinessSummary:
+    """All fitted-against statistics of one trace, in one record.
+
+    Attributes
+    ----------
+    num_arrivals, duration, rate, mean_interarrival : basic shape
+        Count, span, empirical rate and its reciprocal.
+    scv : float
+        Squared coefficient of variation of the interarrival times.
+    autocorrelations : tuple of (lag, value)
+        Lag-``k`` interarrival autocorrelations.
+    idc : tuple of (window, value)
+        Index of dispersion for counts at each window length.
+    """
+
+    num_arrivals: int
+    duration: float
+    rate: float
+    mean_interarrival: float
+    scv: float
+    autocorrelations: Tuple[Tuple[int, float], ...]
+    idc: Tuple[Tuple[float, float], ...]
+
+    @property
+    def lag1(self) -> float:
+        """The lag-1 autocorrelation (the headline correlation statistic)."""
+        for lag, value in self.autocorrelations:
+            if lag == 1:
+                return value
+        raise TraceError("summary was computed without lag 1")
+
+    @property
+    def max_idc(self) -> float:
+        """The IDC at the largest window — the best finite-window proxy for IDC(inf)."""
+        if not self.idc:
+            raise TraceError("summary was computed without IDC windows")
+        return self.idc[-1][1]
+
+    @property
+    def is_bursty(self) -> bool:
+        """Heuristic: noticeably over-dispersed and positively correlated."""
+        return self.scv > 1.05 and self.lag1 > 0.01
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_arrivals": self.num_arrivals,
+            "duration": self.duration,
+            "rate": self.rate,
+            "mean_interarrival": self.mean_interarrival,
+            "scv": self.scv,
+            "autocorrelations": {str(lag): value for lag, value in self.autocorrelations},
+            "idc": {f"{window:g}": value for window, value in self.idc},
+        }
+
+    def as_table(self, title: str = "trace burstiness summary") -> str:
+        rows = [
+            ["arrivals", self.num_arrivals],
+            ["duration", self.duration],
+            ["rate", self.rate],
+            ["mean interarrival", self.mean_interarrival],
+            ["interarrival SCV", self.scv],
+        ]
+        for lag, value in self.autocorrelations:
+            rows.append([f"autocorrelation lag {lag}", value])
+        for window, value in self.idc:
+            rows.append([f"IDC window {window:g}", value])
+        return format_table(["statistic", "value"], rows, title=title)
+
+
+def summarize_trace(
+    trace: ArrivalTrace,
+    lags: Sequence[int] = DEFAULT_LAGS,
+    idc_windows: Sequence[float] = None,
+) -> BurstinessSummary:
+    """Compute the full burstiness summary of one trace.
+
+    Parameters
+    ----------
+    trace : ArrivalTrace
+        At least a dozen arrivals; statistics degrade gracefully but the
+        fit layer wants thousands.
+    lags : sequence of int
+        Autocorrelation lags (lags that do not fit the trace are skipped).
+    idc_windows : sequence of float, optional
+        IDC window lengths; defaults to :func:`default_idc_windows`
+        (windows that do not tile the span at least twice are skipped).
+    """
+    intervals = _interarrivals(trace)
+    if idc_windows is None:
+        idc_windows = default_idc_windows(trace)
+    autocorrelations = tuple(
+        (int(lag), lag_autocorrelation(trace, int(lag)))
+        for lag in lags
+        if intervals.size >= int(lag) + 2
+    )
+    idc = []
+    for window in sorted(float(w) for w in idc_windows):
+        if trace.duration / window >= 2.0:
+            idc.append((window, index_of_dispersion(trace, window)))
+    return BurstinessSummary(
+        num_arrivals=trace.num_arrivals,
+        duration=trace.duration,
+        rate=trace.rate,
+        mean_interarrival=float(intervals.mean()),
+        scv=interarrival_scv(trace),
+        autocorrelations=autocorrelations,
+        idc=tuple(idc),
+    )

@@ -1,0 +1,421 @@
+"""The :class:`ArrivalTrace` container: measured (or synthesized) workloads.
+
+A trace is the ground truth a model is fitted against: a sorted sequence of
+arrival timestamps, optionally paired with per-job sizes (service
+requirements), plus a small string-valued ``meta`` mapping that records
+where the trace came from and every transform applied to it — git-style
+provenance, so a result file can name exactly which slice of which capture
+produced it.
+
+Three interchangeable on-disk formats round-trip bitwise:
+
+* **CSV** — human-greppable; floats are written with ``repr`` (shortest
+  round-trip representation), meta rides in ``#``-prefixed header lines;
+* **JSONL** — one header object, then one object per arrival; the format
+  result stores and stream processors consume;
+* **NPZ** — binary numpy archive, byte-exact and fastest for large traces.
+
+``ArrivalTrace.load`` / ``save`` dispatch on the file suffix, and
+``load(save(trace)) == trace`` holds exactly (arrays compare bitwise), which
+the tier-1 suite pins down across formats and platforms.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["TraceError", "ArrivalTrace"]
+
+#: Per-process memo for :meth:`ArrivalTrace.load_cached`, keyed by resolved
+#: path + mtime + size so an edited file is re-read.  Bounded: a sweep over
+#: many distinct traces must not pin them all in memory.
+_LOAD_CACHE: "OrderedDict[Tuple[str, int, int], ArrivalTrace]" = OrderedDict()
+_LOAD_CACHE_LOCK = threading.Lock()
+_LOAD_CACHE_SIZE = 8
+
+_FORMATS = (".csv", ".jsonl", ".npz")
+_CSV_MAGIC = "# repro-trace v1"
+_JSONL_TYPE = "repro-trace"
+
+
+class TraceError(ValidationError):
+    """Raised for malformed traces, trace files, or invalid trace operations."""
+
+
+def _as_times(values: Sequence[float]) -> np.ndarray:
+    times = np.asarray(values, dtype=np.float64)
+    if times.ndim != 1:
+        raise TraceError(f"arrival times must be one-dimensional, got shape {times.shape}")
+    if times.size and not np.all(np.isfinite(times)):
+        raise TraceError("arrival times must be finite")
+    if times.size and float(times[0]) < 0.0:
+        raise TraceError(f"arrival times must be non-negative, first is {times[0]!r}")
+    if times.size >= 2 and np.any(np.diff(times) < 0.0):
+        raise TraceError("arrival times must be sorted in non-decreasing order")
+    return times
+
+
+def _as_sizes(values: Optional[Sequence[float]], count: int) -> Optional[np.ndarray]:
+    if values is None:
+        return None
+    sizes = np.asarray(values, dtype=np.float64)
+    if sizes.shape != (count,):
+        raise TraceError(
+            f"job sizes must match the arrival count ({count}), got shape {sizes.shape}"
+        )
+    if sizes.size and (not np.all(np.isfinite(sizes)) or np.any(sizes <= 0.0)):
+        raise TraceError("job sizes must be finite and strictly positive")
+    return sizes
+
+
+def _as_meta(meta: Optional[Mapping[str, str]]) -> Dict[str, str]:
+    if meta is None:
+        return {}
+    out = {}
+    for key, value in meta.items():
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise TraceError(
+                f"trace meta must map strings to strings, got {key!r}: {value!r}"
+            )
+        out[key] = value
+    return out
+
+
+class ArrivalTrace:
+    """An immutable arrival trace: timestamps, optional job sizes, provenance.
+
+    Parameters
+    ----------
+    arrival_times : sequence of float
+        Absolute arrival timestamps, finite, non-negative and sorted
+        (ties — batch arrivals — are allowed).
+    job_sizes : sequence of float, optional
+        Per-job service requirements (same length, strictly positive).
+    meta : mapping of str to str, optional
+        Provenance: free-form string keys.  Transform methods copy it and
+        append a description to the ``"transforms"`` entry.
+    """
+
+    __slots__ = ("_times", "_sizes", "_meta")
+
+    def __init__(
+        self,
+        arrival_times: Sequence[float],
+        job_sizes: Optional[Sequence[float]] = None,
+        meta: Optional[Mapping[str, str]] = None,
+    ):
+        times = _as_times(arrival_times)
+        sizes = _as_sizes(job_sizes, times.size)
+        times.flags.writeable = False
+        if sizes is not None:
+            sizes.flags.writeable = False
+        self._times = times
+        self._sizes = sizes
+        self._meta = _as_meta(meta)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def arrival_times(self) -> np.ndarray:
+        """Read-only timestamp array."""
+        return self._times
+
+    @property
+    def job_sizes(self) -> Optional[np.ndarray]:
+        """Read-only job-size array, or ``None`` for timestamp-only traces."""
+        return self._sizes
+
+    @property
+    def has_sizes(self) -> bool:
+        return self._sizes is not None
+
+    @property
+    def meta(self) -> Dict[str, str]:
+        """A copy of the provenance mapping."""
+        return dict(self._meta)
+
+    @property
+    def num_arrivals(self) -> int:
+        return int(self._times.size)
+
+    def __len__(self) -> int:
+        return self.num_arrivals
+
+    @property
+    def duration(self) -> float:
+        """Time spanned from the first to the last arrival."""
+        if self.num_arrivals < 2:
+            return 0.0
+        return float(self._times[-1] - self._times[0])
+
+    @property
+    def rate(self) -> float:
+        """Empirical arrival rate ``(n - 1) / duration`` (interval-based)."""
+        if self.num_arrivals < 2 or self.duration <= 0.0:
+            raise TraceError(
+                "the empirical rate needs at least two arrivals spanning positive time"
+            )
+        return (self.num_arrivals - 1) / self.duration
+
+    def interarrival_times(self) -> np.ndarray:
+        """Consecutive interarrival times (length ``n - 1``)."""
+        return np.diff(self._times)
+
+    # ------------------------------------------------------------------ #
+    # Transforms (each returns a new trace with provenance appended)
+    # ------------------------------------------------------------------ #
+    def _derived(
+        self,
+        transform: str,
+        times: np.ndarray,
+        sizes: Optional[np.ndarray],
+    ) -> "ArrivalTrace":
+        meta = dict(self._meta)
+        previous = meta.get("transforms")
+        meta["transforms"] = transform if not previous else f"{previous} | {transform}"
+        return ArrivalTrace(times, sizes, meta)
+
+    def window(self, start: float, stop: float) -> "ArrivalTrace":
+        """Arrivals with ``start <= t < stop`` (timestamps are kept absolute)."""
+        if not stop > start:
+            raise TraceError(f"window needs stop > start, got [{start!r}, {stop!r})")
+        mask = (self._times >= start) & (self._times < stop)
+        sizes = None if self._sizes is None else self._sizes[mask]
+        return self._derived(f"window[{start:g},{stop:g})", self._times[mask], sizes)
+
+    def head(self, count: int) -> "ArrivalTrace":
+        """The first ``count`` arrivals."""
+        if count < 0:
+            raise TraceError(f"head needs count >= 0, got {count!r}")
+        sizes = None if self._sizes is None else self._sizes[:count]
+        return self._derived(f"head[{count}]", self._times[:count], sizes)
+
+    def shifted(self, origin: float = 0.0) -> "ArrivalTrace":
+        """Re-anchor the first arrival at ``origin`` (default 0)."""
+        if self.num_arrivals == 0:
+            return self._derived(f"shift[{origin:g}]", self._times, self._sizes)
+        return self._derived(
+            f"shift[{origin:g}]", self._times - self._times[0] + origin, self._sizes
+        )
+
+    def rescaled(self, rate: float) -> "ArrivalTrace":
+        """Time-rescale so the empirical rate becomes ``rate``.
+
+        Scaling timestamps preserves every dimensionless burstiness
+        statistic (SCV, lag correlations, IDC); it is how a measured trace
+        is laid onto a spec's utilization.
+        """
+        if rate <= 0.0:
+            raise TraceError(f"target rate must be > 0, got {rate!r}")
+        factor = self.rate / rate
+        return self._derived(f"rescale[rate={rate:g}]", self._times * factor, self._sizes)
+
+    # ------------------------------------------------------------------ #
+    # Equality / display
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrivalTrace):
+            return NotImplemented
+        if self._meta != other._meta:
+            return False
+        if not np.array_equal(self._times, other._times):
+            return False
+        if (self._sizes is None) != (other._sizes is None):
+            return False
+        return self._sizes is None or np.array_equal(self._sizes, other._sizes)
+
+    def __repr__(self) -> str:
+        sized = "with sizes" if self.has_sizes else "timestamps only"
+        return (
+            f"ArrivalTrace({self.num_arrivals} arrivals over {self.duration:.6g} "
+            f"time units, {sized})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace to ``path``; format chosen by suffix (.csv/.jsonl/.npz)."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix not in _FORMATS:
+            raise TraceError(
+                f"unknown trace format {suffix!r} for {path} (supported: {', '.join(_FORMATS)})"
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if suffix == ".csv":
+            path.write_text(self._to_csv(), encoding="utf-8")
+        elif suffix == ".jsonl":
+            path.write_text(self._to_jsonl(), encoding="utf-8")
+        else:
+            arrays: Dict[str, np.ndarray] = {
+                "arrival_times": self._times,
+                "meta_json": np.array(json.dumps(self._meta, sort_keys=True)),
+            }
+            if self._sizes is not None:
+                arrays["job_sizes"] = self._sizes
+            with path.open("wb") as handle:
+                np.savez(handle, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ArrivalTrace":
+        """Read a trace written by :meth:`save` (format chosen by suffix)."""
+        path = Path(path)
+        if not path.exists():
+            raise TraceError(f"trace file not found: {path}")
+        suffix = path.suffix.lower()
+        if suffix == ".csv":
+            return cls._from_csv(path.read_text(encoding="utf-8"), path)
+        if suffix == ".jsonl":
+            return cls._from_jsonl(path.read_text(encoding="utf-8"), path)
+        if suffix == ".npz":
+            try:
+                with np.load(path, allow_pickle=False) as archive:
+                    meta = json.loads(str(archive["meta_json"]))
+                    sizes = archive["job_sizes"] if "job_sizes" in archive.files else None
+                    return cls(archive["arrival_times"], sizes, meta)
+            except TraceError:
+                raise
+            except Exception as error:
+                raise TraceError(f"{path}: not a readable trace NPZ archive: {error}") from None
+        raise TraceError(
+            f"unknown trace format {suffix!r} for {path} (supported: {', '.join(_FORMATS)})"
+        )
+
+    @classmethod
+    def load_cached(cls, path: Union[str, Path]) -> "ArrivalTrace":
+        """:meth:`load` through a per-process memo.
+
+        Replicated runs re-resolve the same trace file once per replication
+        (the spec only carries the path); traces are immutable once
+        constructed, so sharing one instance is safe.  The memo key includes
+        the file's mtime and size, so a rewritten file is re-read.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise TraceError(f"trace file not found: {path}")
+        stat = path.stat()
+        key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+        with _LOAD_CACHE_LOCK:
+            cached = _LOAD_CACHE.get(key)
+            if cached is not None:
+                _LOAD_CACHE.move_to_end(key)
+                return cached
+        trace = cls.load(path)
+        with _LOAD_CACHE_LOCK:
+            _LOAD_CACHE[key] = trace
+            _LOAD_CACHE.move_to_end(key)
+            while len(_LOAD_CACHE) > _LOAD_CACHE_SIZE:
+                _LOAD_CACHE.popitem(last=False)
+        return trace
+
+    # -- CSV ----------------------------------------------------------- #
+    def _to_csv(self) -> str:
+        lines = [_CSV_MAGIC, f"# meta {json.dumps(self._meta, sort_keys=True)}"]
+        if self._sizes is None:
+            lines.append("arrival_time")
+            lines.extend(repr(float(t)) for t in self._times)
+        else:
+            lines.append("arrival_time,job_size")
+            lines.extend(
+                f"{float(t)!r},{float(s)!r}" for t, s in zip(self._times, self._sizes)
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def _from_csv(cls, text: str, path: Path) -> "ArrivalTrace":
+        lines = text.splitlines()
+        if not lines or lines[0].strip() != _CSV_MAGIC:
+            raise TraceError(f"{path}: not a repro trace CSV (missing '{_CSV_MAGIC}' header)")
+        meta: Dict[str, str] = {}
+        body: list = []
+        header = None
+        for line in lines[1:]:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("# meta "):
+                try:
+                    meta = json.loads(stripped[len("# meta "):])
+                except json.JSONDecodeError as error:
+                    raise TraceError(f"{path}: malformed meta header: {error}") from None
+                continue
+            if stripped.startswith("#"):
+                continue
+            if header is None:
+                header = stripped
+                continue
+            body.append(stripped)
+        if header not in ("arrival_time", "arrival_time,job_size"):
+            raise TraceError(f"{path}: unexpected CSV column header {header!r}")
+        try:
+            if header == "arrival_time":
+                return cls([float(row) for row in body], None, meta)
+            pairs = [row.split(",") for row in body]
+            if any(len(pair) != 2 for pair in pairs):
+                raise TraceError(f"{path}: malformed CSV row (expected 'arrival_time,job_size')")
+            return cls(
+                [float(pair[0]) for pair in pairs],
+                [float(pair[1]) for pair in pairs],
+                meta,
+            )
+        except ValueError as error:
+            raise TraceError(f"{path}: malformed CSV value: {error}") from None
+
+    # -- JSONL --------------------------------------------------------- #
+    def _to_jsonl(self) -> str:
+        header = {
+            "type": _JSONL_TYPE,
+            "version": 1,
+            "num_arrivals": self.num_arrivals,
+            "has_sizes": self.has_sizes,
+            "meta": dict(sorted(self._meta.items())),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        if self._sizes is None:
+            lines.extend(json.dumps({"t": float(t)}) for t in self._times)
+        else:
+            lines.extend(
+                json.dumps({"size": float(s), "t": float(t)}, sort_keys=True)
+                for t, s in zip(self._times, self._sizes)
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def _from_jsonl(cls, text: str, path: Path) -> "ArrivalTrace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TraceError(f"{path}: empty JSONL trace file")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as error:
+            raise TraceError(f"{path}: malformed JSONL header: {error}") from None
+        if not isinstance(header, dict) or header.get("type") != _JSONL_TYPE:
+            raise TraceError(f"{path}: not a repro trace JSONL (missing header object)")
+        try:
+            records = [json.loads(line) for line in lines[1:]]
+            times = [record["t"] for record in records]
+            if header.get("has_sizes"):
+                sizes: Optional[list] = [record["size"] for record in records]
+            else:
+                sizes = None
+        except json.JSONDecodeError as error:
+            raise TraceError(f"{path}: malformed JSONL row: {error}") from None
+        except (KeyError, TypeError) as error:
+            raise TraceError(f"{path}: JSONL row missing field {error}") from None
+        declared = header.get("num_arrivals")
+        if declared is not None and declared != len(times):
+            raise TraceError(
+                f"{path}: header declares {declared} arrivals but {len(times)} rows follow"
+            )
+        return cls(times, sizes, header.get("meta", {}))

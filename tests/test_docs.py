@@ -17,7 +17,14 @@ DOC_FILES = sorted(
 
 def test_docs_tree_exists():
     names = {path.name for path in DOC_FILES}
-    assert {"README.md", "architecture.md", "cli.md", "reproducing-the-paper.md"} <= names
+    assert {
+        "README.md",
+        "api.md",
+        "architecture.md",
+        "cli.md",
+        "reproducing-the-paper.md",
+        "traces.md",
+    } <= names
 
 
 def test_checker_passes_on_repo_docs():

@@ -1,0 +1,231 @@
+"""End-to-end cross-validation of the traces subsystem (acceptance tests).
+
+The loop the whole PR exists for: a bursty synthetic trace is fitted to an
+MMPP2, the fitted spec runs through the cluster backend via ``repro.run``
+as a replicated ensemble, the raw trace is replayed through the *same*
+backend, and the replayed mean delay must land inside the fitted model's
+confidence interval — measurement and model agree through every layer.
+Plus the CLI contract: ``repro-lb trace fit`` emits a spec JSON that
+``repro-lb run --spec`` accepts unchanged.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import run
+from repro.api.spec import DistributionSpec, ExperimentSpec, WorkloadSpec
+from repro.cli import main
+from repro.ensemble.grid import GridConfig, run_grid
+from repro.markov.arrival_processes import MarkovianArrivalProcess
+from repro.traces import fit_mmpp2, summarize_trace, synthesize_trace
+
+N, D, RHO = 50, 2, 0.85
+
+
+@pytest.fixture(scope="module")
+def bursty_trace_file(tmp_path_factory):
+    truth = MarkovianArrivalProcess.mmpp2(
+        rate_high=3.0, rate_low=0.4, switch_to_low=0.05, switch_to_high=0.04
+    ).rescaled(RHO * N)
+    trace = synthesize_trace(truth, 60_000, seed=20160627)
+    return trace.save(tmp_path_factory.mktemp("traces") / "bursty.npz"), trace
+
+
+class TestFitReplayCrossValidation:
+    def test_replayed_delay_inside_fitted_model_ci(self, bursty_trace_file):
+        path, trace = bursty_trace_file
+        fit = fit_mmpp2(summarize_trace(trace))
+        assert fit.converged, fit.as_table()
+
+        spec = fit.experiment_spec(num_servers=N, d=D, num_jobs=20_000, seed=414)
+        fitted = run(spec, backend="cluster", replications=6)
+        low, high = fitted.confidence_interval()
+        assert low < high
+
+        replay_spec = replace(
+            spec,
+            workload=WorkloadSpec(
+                arrival=DistributionSpec("trace", {"path": str(path)})
+            ),
+        )
+        replayed = run(replay_spec, backend="cluster")
+        assert replayed.backend == "cluster"
+        assert low <= replayed.mean_delay <= high, (
+            f"replayed delay {replayed.mean_delay:.4f} outside the fitted model's "
+            f"{fitted.confidence:.0%} CI [{low:.4f}, {high:.4f}]"
+        )
+
+    def test_auto_backend_routes_trace_workloads_to_cluster(self, bursty_trace_file):
+        path, trace = bursty_trace_file
+        spec = ExperimentSpec.create(
+            num_servers=N,
+            d=D,
+            utilization=RHO,
+            arrival="trace",
+            arrival_params={"path": str(path)},
+            num_jobs=2_000,
+            seed=7,
+        )
+        result = run(spec)  # backend="auto"
+        assert result.backend == "cluster"
+
+    def test_replay_is_deterministic_across_runs(self, bursty_trace_file):
+        path, _ = bursty_trace_file
+        spec = ExperimentSpec.create(
+            num_servers=N,
+            d=D,
+            utilization=RHO,
+            arrival="trace",
+            arrival_params={"path": str(path)},
+            num_jobs=2_000,
+            seed=9,
+        )
+        first = run(spec, backend="cluster")
+        second = run(spec, backend="cluster")
+        assert first.mean_delay == second.mean_delay
+
+
+class TestCLISpecContract:
+    def test_trace_fit_spec_runs_unchanged(self, bursty_trace_file, tmp_path, capsys):
+        path, _ = bursty_trace_file
+        spec_path = tmp_path / "fitted_spec.json"
+        exit_code = main(
+            [
+                "trace", "fit",
+                "--trace", str(path),
+                "--family", "mmpp2",
+                "--servers", str(N),
+                "--choices", str(D),
+                "--jobs", "3000",
+                "--spec-out", str(spec_path),
+            ]
+        )
+        assert exit_code == 0
+        assert spec_path.exists()
+        emitted = spec_path.read_text(encoding="utf-8")
+
+        # The emitted file is a valid canonical spec ...
+        spec = ExperimentSpec.from_json(emitted)
+        assert spec.workload.arrival.name == "mmpp2"
+        assert spec.system.num_servers == N
+
+        # ... and `repro-lb run --spec` accepts it byte-for-byte unchanged.
+        exit_code = main(["run", "--spec", str(spec_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mean delay" in output
+        assert "cluster" in output
+
+    def test_trace_stats_and_run_commands(self, bursty_trace_file, capsys):
+        path, _ = bursty_trace_file
+        assert main(["trace", "stats", "--trace", str(path)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "interarrival SCV" in stats_out
+
+        assert main(
+            ["trace", "run", "--trace", str(path), "-N", str(N), "--jobs", "2000"]
+        ) == 0
+        run_out = capsys.readouterr().out
+        assert "mean delay" in run_out
+
+    def test_trace_run_rejects_an_overloaded_pool(self, bursty_trace_file, capsys):
+        path, _ = bursty_trace_file
+        with pytest.raises(SystemExit, match="rho"):
+            main(["trace", "run", "--trace", str(path), "-N", "10", "--jobs", "1000"])
+
+    def test_corrupt_trace_file_is_a_spec_error_not_a_crash(self, tmp_path):
+        corrupt = tmp_path / "corrupt.csv"
+        corrupt.write_text("# repro-trace v1\narrival_time\n1.2.3\n")
+        spec = ExperimentSpec.create(
+            num_servers=4,
+            utilization=0.5,
+            arrival="trace",
+            arrival_params={"path": str(corrupt)},
+            num_jobs=100,
+        )
+        from repro.api.spec import SpecError
+
+        with pytest.raises(SpecError, match="trace"):
+            run(spec, backend="cluster")
+
+    def test_analyze_invalid_shape_param_exits_cleanly(self, capsys):
+        # stages=0 passes spec validation but fails at process construction;
+        # the CLI must exit with its one-line message, not a traceback.
+        with pytest.raises(SystemExit, match="stages"):
+            main(
+                [
+                    "analyze", "-N", "4", "-u", "0.8",
+                    "--arrival", "erlang", "--arrival-param", "stages=0",
+                ]
+            )
+
+    def test_trace_fit_json_diagnostics(self, bursty_trace_file, tmp_path, capsys):
+        path, _ = bursty_trace_file
+        json_path = tmp_path / "fit.json"
+        assert main(
+            [
+                "trace", "fit",
+                "--trace", str(path),
+                "--servers", str(N),
+                "--json", str(json_path),
+            ]
+        ) == 0
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["family"] == "mmpp2"
+        assert payload["converged"] is True
+        assert payload["spec"]["workload"]["arrival"]["name"] == "mmpp2"
+
+
+class TestGridWorkloadAxis:
+    def test_fitted_workloads_sweep_against_the_poisson_baseline(self, bursty_trace_file):
+        _, trace = bursty_trace_file
+        fit = fit_mmpp2(summarize_trace(trace))
+        config = GridConfig(
+            server_counts=(20,),
+            choices=(2,),
+            utilizations=(0.8,),
+            workloads=(WorkloadSpec(), WorkloadSpec(arrival=fit.arrival)),
+            num_events=20_000,
+            num_jobs=2_000,
+            replications=2,
+            bounds=True,
+            threshold=2,
+            seed=11,
+        )
+        result = run_grid(config)
+        assert len(result.points) == 2
+        labels = [point.labels["workload"] for point in result.points]
+        assert labels[0] == "poisson"
+        assert labels[1].startswith("mmpp2#")
+        # The Poisson baseline gets the QBD bracket; the fitted workload
+        # (a different arrival law) must not be annotated with it.
+        assert result.points[0].bounds is not None
+        assert result.points[1].bounds is None
+        # Bursty input at equal load queues more on average.
+        records = result.records()
+        assert records[1]["mean_delay"] > records[0]["mean_delay"]
+
+    def test_workload_labels_feed_stable_seeds(self, bursty_trace_file):
+        _, trace = bursty_trace_file
+        fit = fit_mmpp2(summarize_trace(trace))
+        base = dict(
+            server_counts=(10,),
+            choices=(2,),
+            utilizations=(0.7,),
+            num_jobs=500,
+            num_events=5_000,
+            replications=1,
+            seed=3,
+        )
+        both = run_grid(
+            GridConfig(workloads=(WorkloadSpec(), WorkloadSpec(arrival=fit.arrival)), **base)
+        )
+        only_fitted = run_grid(
+            GridConfig(workloads=(WorkloadSpec(arrival=fit.arrival),), **base)
+        )
+        assert (
+            both.points[1].ensemble.records[0]["mean_delay"]
+            == only_fitted.points[0].ensemble.records[0]["mean_delay"]
+        )

@@ -1,0 +1,187 @@
+"""Model fitting: moment matching onto MMPP2 and the renewal families."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.spec import ExperimentSpec, SpecError
+from repro.markov.arrival_processes import MarkovianArrivalProcess, PoissonArrivals
+from repro.markov.service_distributions import ErlangService, HyperexponentialService
+from repro.markov.arrival_processes import RenewalArrivals
+from repro.traces import (
+    TraceFitError,
+    fit_arrival,
+    fit_erlang,
+    fit_hyperexponential,
+    fit_mmpp2,
+    fit_poisson,
+    summarize_trace,
+    synthesize_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def truth() -> MarkovianArrivalProcess:
+    return MarkovianArrivalProcess.mmpp2(
+        rate_high=3.0, rate_low=0.4, switch_to_low=0.05, switch_to_high=0.04
+    ).rescaled(42.5)
+
+
+@pytest.fixture(scope="module")
+def bursty_summary(truth):
+    return summarize_trace(synthesize_trace(truth, 60_000, seed=2016))
+
+
+class TestFitMMPP2:
+    def test_recovers_analytic_targets_exactly(self, truth, bursty_summary):
+        # Fit to the *analytic* statistics of a known MMPP2: the optimizer
+        # must land on a model reproducing them within tolerance.
+        fit = fit_mmpp2(
+            bursty_summary,
+            targets={
+                "scv": truth.interarrival_scv,
+                "lag1": truth.lag_autocorrelation(1),
+                "idc": truth.asymptotic_idc(),
+            },
+        )
+        assert fit.converged
+        fitted = fit.process
+        assert isinstance(fitted, MarkovianArrivalProcess)
+        assert fitted.interarrival_scv == pytest.approx(truth.interarrival_scv, rel=0.05)
+        assert fitted.lag_autocorrelation(1) == pytest.approx(
+            truth.lag_autocorrelation(1), abs=0.02
+        )
+        assert fitted.asymptotic_idc() == pytest.approx(truth.asymptotic_idc(), rel=0.05)
+
+    def test_fit_from_synthesized_trace_converges(self, truth, bursty_summary):
+        fit = fit_mmpp2(bursty_summary)
+        assert fit.family == "mmpp2"
+        assert fit.converged, fit.as_table()
+        assert fit.max_relative_error < 0.05
+        assert fit.process.rate == pytest.approx(bursty_summary.rate, rel=1e-9)
+        # The fitted model must be bursty like the truth, not Poisson-like.
+        assert fit.process.interarrival_scv > 2.0
+        assert fit.process.lag_autocorrelation(1) > 0.2
+
+    def test_spec_params_are_unit_rate_normalized(self, bursty_summary):
+        fit = fit_mmpp2(bursty_summary)
+        params = dict(fit.arrival.params)
+        assert set(params) == {"rate_high", "rate_low", "switch_to_low", "switch_to_high"}
+        unit = MarkovianArrivalProcess.mmpp2(**params)
+        assert unit.rate == pytest.approx(1.0, rel=1e-6)
+
+    def test_rejects_underdispersed_and_uncorrelated(self, bursty_summary):
+        with pytest.raises(TraceFitError):
+            fit_mmpp2(bursty_summary, targets={"scv": 0.8})
+        with pytest.raises(TraceFitError):
+            fit_mmpp2(bursty_summary, targets={"lag1": -0.1})
+
+    def test_rejects_unknown_targets(self, bursty_summary):
+        with pytest.raises(TraceFitError):
+            fit_mmpp2(bursty_summary, targets={"skewness": 3.0})
+
+
+class TestRenewalFits:
+    def test_hyperexponential_matches_scv(self):
+        process = RenewalArrivals(
+            HyperexponentialService.balanced_two_phase(mean=0.2, scv=4.0)
+        )
+        summary = summarize_trace(synthesize_trace(process, 40_000, seed=5))
+        fit = fit_hyperexponential(summary)
+        assert fit.achieved["scv"] == pytest.approx(summary.scv)
+        assert fit.converged  # renewal input: no correlation to miss
+        assert dict(fit.arrival.params)["scv"] == pytest.approx(4.0, rel=0.1)
+
+    def test_hyperexponential_rejects_smooth_traces(self):
+        process = RenewalArrivals(ErlangService(stages=4, mean=0.25))
+        summary = summarize_trace(synthesize_trace(process, 20_000, seed=6))
+        with pytest.raises(TraceFitError):
+            fit_hyperexponential(summary)
+
+    def test_erlang_recovers_stage_count(self):
+        process = RenewalArrivals(ErlangService(stages=4, mean=0.25))
+        summary = summarize_trace(synthesize_trace(process, 40_000, seed=6))
+        fit = fit_erlang(summary)
+        assert dict(fit.arrival.params)["stages"] == 4
+        assert fit.converged
+
+    def test_erlang_rejects_bursty_traces(self, bursty_summary):
+        with pytest.raises(TraceFitError):
+            fit_erlang(bursty_summary)
+
+    def test_poisson_fit_is_rate_only(self, bursty_summary):
+        fit = fit_poisson(bursty_summary)
+        assert isinstance(fit.process, PoissonArrivals)
+        assert fit.process.rate == pytest.approx(bursty_summary.rate)
+        assert not fit.converged  # the trace is over-dispersed; flagged
+
+    def test_mismatch_headline_only_covers_matched_statistics(self):
+        # A Poisson trace has noise-level lag1; the renewal fits structurally
+        # achieve 0 there, which must not read as a near-100% "mismatch".
+        summary = summarize_trace(synthesize_trace(PoissonArrivals(4.0), 40_000, seed=21))
+        poisson = fit_poisson(summary)
+        assert poisson.matched == ("rate",)
+        assert poisson.max_relative_error == pytest.approx(0.0, abs=1e-12)
+        hyper = fit_hyperexponential(
+            summarize_trace(
+                synthesize_trace(
+                    RenewalArrivals(
+                        HyperexponentialService.balanced_two_phase(mean=0.2, scv=4.0)
+                    ),
+                    40_000,
+                    seed=22,
+                )
+            )
+        )
+        assert hyper.matched == ("rate", "scv")
+        assert hyper.max_relative_error < 0.01
+        assert "* = matched" in hyper.as_table()
+
+
+class TestAutoDispatch:
+    def test_bursty_trace_gets_mmpp2(self, bursty_summary):
+        assert fit_arrival(bursty_summary).family == "mmpp2"
+
+    def test_uncorrelated_overdispersed_gets_hyperexponential(self):
+        process = RenewalArrivals(
+            HyperexponentialService.balanced_two_phase(mean=0.2, scv=5.0)
+        )
+        summary = summarize_trace(synthesize_trace(process, 40_000, seed=8))
+        assert fit_arrival(summary).family == "hyperexponential"
+
+    def test_smooth_trace_gets_erlang(self):
+        process = RenewalArrivals(ErlangService(stages=3, mean=0.5))
+        summary = summarize_trace(synthesize_trace(process, 30_000, seed=9))
+        assert fit_arrival(summary).family == "erlang"
+
+    def test_poisson_trace_stays_poisson(self):
+        summary = summarize_trace(synthesize_trace(PoissonArrivals(4.0), 40_000, seed=10))
+        assert fit_arrival(summary).family == "poisson"
+
+    def test_explicit_family_and_unknown_family(self, bursty_summary):
+        assert fit_arrival(bursty_summary, family="hyperexponential").family == "hyperexponential"
+        with pytest.raises(TraceFitError):
+            fit_arrival(bursty_summary, family="weibull")
+
+
+class TestExperimentSpec:
+    def test_spec_reflects_the_trace_rate(self, bursty_summary):
+        fit = fit_mmpp2(bursty_summary)
+        spec = fit.experiment_spec(num_servers=50, d=2, num_jobs=10_000, seed=3)
+        assert spec.system.utilization == pytest.approx(bursty_summary.rate / 50.0)
+        assert spec.workload.arrival.name == "mmpp2"
+        assert spec.horizon.num_jobs == 10_000
+        # The emitted spec round-trips through canonical JSON unchanged.
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+        payload = json.loads(spec.to_json())
+        assert payload["workload"]["arrival"]["name"] == "mmpp2"
+
+    def test_overloaded_pool_is_rejected(self, bursty_summary):
+        fit = fit_mmpp2(bursty_summary)
+        with pytest.raises(TraceFitError):
+            fit.experiment_spec(num_servers=40)  # rate 42.5ish on 40 servers: rho > 1
+
+    def test_diagnostics_table_renders(self, bursty_summary):
+        table = fit_mmpp2(bursty_summary).as_table()
+        assert "mmpp2 fit" in table and "scv" in table

@@ -1,0 +1,100 @@
+"""Replay and synthesis: traces as deterministic arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.markov.arrival_processes import PoissonArrivals
+from repro.markov.service_distributions import ErlangService
+from repro.traces import ArrivalTrace, TraceArrivals, TraceError, synthesize_trace
+
+
+@pytest.fixture
+def trace() -> ArrivalTrace:
+    return ArrivalTrace([0.0, 1.0, 1.5, 3.5, 4.0])
+
+
+class TestTraceArrivals:
+    def test_replay_is_deterministic_and_ignores_the_rng(self, trace):
+        first = TraceArrivals(trace).sample_interarrival_times(np.random.default_rng(1), 4)
+        second = TraceArrivals(trace).sample_interarrival_times(np.random.default_rng(999), 4)
+        assert np.array_equal(first, second)
+        assert np.allclose(first, [1.0, 0.5, 2.0, 0.5])
+
+    def test_rate_is_interval_based(self, trace):
+        assert TraceArrivals(trace).rate == pytest.approx(1.0)
+
+    def test_cycling_wraps_to_the_first_gap(self, trace):
+        replay = TraceArrivals(trace)
+        samples = replay.sample_interarrival_times(np.random.default_rng(0), 6)
+        assert np.allclose(samples, [1.0, 0.5, 2.0, 0.5, 1.0, 0.5])
+        assert replay.position == 6
+
+    def test_loop_false_raises_on_exhaustion(self, trace):
+        replay = TraceArrivals(trace, loop=False)
+        replay.sample_interarrival_times(np.random.default_rng(0), 4)
+        with pytest.raises(TraceError):
+            replay.sample_interarrival_times(np.random.default_rng(0), 1)
+
+    def test_reset_rewinds(self, trace):
+        replay = TraceArrivals(trace)
+        first = replay.sample_interarrival_times(np.random.default_rng(0), 3)
+        replay.reset()
+        assert replay.position == 0
+        assert np.array_equal(first, replay.sample_interarrival_times(np.random.default_rng(0), 3))
+
+    def test_rescaled_replay_targets_the_requested_rate(self, trace):
+        replay = TraceArrivals(trace, rate=4.0)
+        assert replay.rate == pytest.approx(4.0)
+        gaps = replay.sample_interarrival_times(np.random.default_rng(0), 4)
+        assert 1.0 / gaps.mean() == pytest.approx(4.0)
+        # Shape preserved: same relative gaps as the raw trace.
+        raw = trace.interarrival_times()
+        assert np.allclose(gaps / gaps.sum(), raw / raw.sum())
+
+    def test_not_a_renewal_process(self, trace):
+        assert not TraceArrivals(trace).is_renewal()
+
+    def test_validation(self, trace):
+        with pytest.raises(TraceError):
+            TraceArrivals(ArrivalTrace([1.0]))
+        with pytest.raises(TraceError):
+            TraceArrivals(ArrivalTrace([1.0, 1.0]))
+        with pytest.raises(TraceError):
+            TraceArrivals(trace, rate=-1.0)
+        with pytest.raises(TraceError):
+            TraceArrivals(trace).sample_interarrival_times(np.random.default_rng(0), -1)
+
+
+class TestSynthesizeTrace:
+    def test_deterministic_in_the_seed(self):
+        process = PoissonArrivals(3.0)
+        assert synthesize_trace(process, 100, seed=42) == synthesize_trace(process, 100, seed=42)
+        assert synthesize_trace(process, 100, seed=42) != synthesize_trace(process, 100, seed=43)
+
+    def test_records_provenance(self):
+        trace = synthesize_trace(PoissonArrivals(3.0), 10, seed=1, meta={"note": "demo"})
+        assert trace.meta["seed"] == "1"
+        assert trace.meta["source"].startswith("synthesized:PoissonArrivals")
+        assert trace.meta["note"] == "demo"
+
+    def test_job_sizes_from_a_service_distribution(self):
+        trace = synthesize_trace(
+            PoissonArrivals(3.0), 50, seed=2, service_distribution=ErlangService(2, mean=0.5)
+        )
+        assert trace.has_sizes
+        assert trace.job_sizes.shape == (50,)
+        assert np.all(trace.job_sizes > 0)
+
+    def test_round_trip_through_replay(self):
+        # Re-recording a replayed trace reproduces the interarrival sequence.
+        original = synthesize_trace(PoissonArrivals(2.0), 200, seed=3)
+        re_recorded = synthesize_trace(TraceArrivals(original), 199, seed=0)
+        assert np.allclose(
+            re_recorded.interarrival_times(), original.interarrival_times()[1:]
+        )
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            synthesize_trace(PoissonArrivals(1.0), 0)
+        with pytest.raises(TraceError):
+            synthesize_trace(PoissonArrivals(1.0), 10, start_time=-1.0)

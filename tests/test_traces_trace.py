@@ -1,0 +1,213 @@
+"""Tier-1 guard for the :class:`ArrivalTrace` container.
+
+The round-trip determinism tests are part of the acceptance contract of the
+traces subsystem: ``load(save(trace)) == trace`` for every format, and a
+second save of the loaded trace must reproduce the first file bitwise —
+CSV and JSONL as bytes on disk, NPZ at the array-payload level (zip
+containers may differ in metadata across platforms, the numbers may not).
+"""
+
+import numpy as np
+import pytest
+
+from repro.markov.arrival_processes import MarkovianArrivalProcess
+from repro.markov.service_distributions import ExponentialService
+from repro.traces import ArrivalTrace, TraceError, synthesize_trace
+
+FORMATS = ("csv", "jsonl", "npz")
+
+
+@pytest.fixture(scope="module")
+def bursty_trace() -> ArrivalTrace:
+    """A small bursty trace with job sizes and awkward float values."""
+    process = MarkovianArrivalProcess.mmpp2(3.0, 0.3, 0.08, 0.05)
+    return synthesize_trace(
+        process, 500, seed=99, service_distribution=ExponentialService(1.0),
+        meta={"capture": "unit-test"},
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        trace = ArrivalTrace([0.0, 0.5, 1.25, 3.0])
+        assert trace.num_arrivals == len(trace) == 4
+        assert trace.duration == pytest.approx(3.0)
+        assert trace.rate == pytest.approx(1.0)
+        assert np.allclose(trace.interarrival_times(), [0.5, 0.75, 1.75])
+        assert not trace.has_sizes
+
+    def test_batch_arrivals_are_legal(self):
+        trace = ArrivalTrace([0.0, 1.0, 1.0, 2.0])
+        assert trace.num_arrivals == 4
+
+    def test_times_are_read_only(self):
+        trace = ArrivalTrace([0.0, 1.0])
+        with pytest.raises(ValueError):
+            trace.arrival_times[0] = 5.0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([0.0, 2.0, 1.0])
+
+    def test_negative_and_nonfinite_rejected(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([-1.0, 0.0])
+        with pytest.raises(TraceError):
+            ArrivalTrace([0.0, float("nan")])
+
+    def test_size_validation(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([0.0, 1.0], job_sizes=[1.0])
+        with pytest.raises(TraceError):
+            ArrivalTrace([0.0, 1.0], job_sizes=[1.0, 0.0])
+
+    def test_meta_must_be_strings(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([0.0, 1.0], meta={"seed": 7})
+
+    def test_rate_needs_two_spanning_arrivals(self):
+        with pytest.raises(TraceError):
+            ArrivalTrace([1.0]).rate
+        with pytest.raises(TraceError):
+            ArrivalTrace([1.0, 1.0]).rate
+
+
+class TestTransforms:
+    def test_window_half_open(self):
+        trace = ArrivalTrace([0.0, 1.0, 2.0, 3.0], job_sizes=[1, 2, 3, 4])
+        windowed = trace.window(1.0, 3.0)
+        assert np.allclose(windowed.arrival_times, [1.0, 2.0])
+        assert np.allclose(windowed.job_sizes, [2.0, 3.0])
+        assert "window[1,3)" in windowed.meta["transforms"]
+
+    def test_head_and_shifted(self):
+        trace = ArrivalTrace([5.0, 6.0, 8.0])
+        assert np.allclose(trace.head(2).arrival_times, [5.0, 6.0])
+        assert np.allclose(trace.shifted().arrival_times, [0.0, 1.0, 3.0])
+
+    def test_rescaled_hits_target_rate_and_keeps_shape(self):
+        trace = ArrivalTrace([0.0, 1.0, 3.0, 4.0])
+        rescaled = trace.rescaled(6.0)
+        assert rescaled.rate == pytest.approx(6.0)
+        # Relative gaps (the burstiness shape) are preserved.
+        original = trace.interarrival_times()
+        scaled = rescaled.interarrival_times()
+        assert np.allclose(scaled / scaled.sum(), original / original.sum())
+
+    def test_transforms_chain_in_provenance(self):
+        trace = ArrivalTrace([0.0, 1.0, 2.0, 3.0], meta={"source": "x"})
+        chained = trace.window(0.0, 2.5).shifted()
+        assert chained.meta["source"] == "x"
+        assert chained.meta["transforms"].count("|") == 1
+
+    def test_invalid_transform_arguments(self):
+        trace = ArrivalTrace([0.0, 1.0])
+        with pytest.raises(TraceError):
+            trace.window(2.0, 1.0)
+        with pytest.raises(TraceError):
+            trace.head(-1)
+        with pytest.raises(TraceError):
+            trace.rescaled(0.0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_load_save_identity(self, tmp_path, bursty_trace, fmt):
+        path = bursty_trace.save(tmp_path / f"trace.{fmt}")
+        loaded = ArrivalTrace.load(path)
+        assert loaded == bursty_trace
+        # Arrays are bitwise identical, not merely approximately equal.
+        assert loaded.arrival_times.tobytes() == bursty_trace.arrival_times.tobytes()
+        assert loaded.job_sizes.tobytes() == bursty_trace.job_sizes.tobytes()
+        assert loaded.meta == bursty_trace.meta
+
+    @pytest.mark.parametrize("fmt", ("csv", "jsonl"))
+    def test_text_formats_are_bitwise_stable(self, tmp_path, bursty_trace, fmt):
+        first = bursty_trace.save(tmp_path / f"a.{fmt}")
+        second = ArrivalTrace.load(first).save(tmp_path / f"b.{fmt}")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_npz_payload_is_bitwise_stable(self, tmp_path, bursty_trace):
+        first = ArrivalTrace.load(bursty_trace.save(tmp_path / "a.npz"))
+        second = ArrivalTrace.load(first.save(tmp_path / "b.npz"))
+        assert second == bursty_trace
+        assert second.arrival_times.tobytes() == bursty_trace.arrival_times.tobytes()
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_timestamp_only_round_trip(self, tmp_path, fmt):
+        trace = ArrivalTrace([0.1, 0.7, 1.0 / 3.0 + 1.0], meta={"k": "v"})
+        assert ArrivalTrace.load(trace.save(tmp_path / f"t.{fmt}")) == trace
+
+    def test_unknown_suffix_rejected(self, tmp_path, bursty_trace):
+        with pytest.raises(TraceError):
+            bursty_trace.save(tmp_path / "trace.parquet")
+        with pytest.raises(TraceError):
+            ArrivalTrace.load(tmp_path / "missing.csv")
+
+    def test_corrupt_files_rejected(self, tmp_path):
+        bad_csv = tmp_path / "bad.csv"
+        bad_csv.write_text("arrival_time\n1.0\n")
+        with pytest.raises(TraceError):
+            ArrivalTrace.load(bad_csv)
+        bad_jsonl = tmp_path / "bad.jsonl"
+        bad_jsonl.write_text('{"type": "something-else"}\n')
+        with pytest.raises(TraceError):
+            ArrivalTrace.load(bad_jsonl)
+
+    def test_malformed_rows_raise_trace_error_not_value_error(self, tmp_path):
+        # Corrupt values must surface as TraceError so the engine layer can
+        # convert them into one consistent SpecError.
+        bad_row = tmp_path / "row.csv"
+        bad_row.write_text("# repro-trace v1\narrival_time\n1.2.3\n")
+        with pytest.raises(TraceError):
+            ArrivalTrace.load(bad_row)
+        bad_meta = tmp_path / "meta.csv"
+        bad_meta.write_text("# repro-trace v1\n# meta {broken\narrival_time\n1.0\n")
+        with pytest.raises(TraceError):
+            ArrivalTrace.load(bad_meta)
+        missing_key = tmp_path / "row.jsonl"
+        missing_key.write_text(
+            '{"type": "repro-trace", "version": 1, "num_arrivals": 1, '
+            '"has_sizes": false, "meta": {}}\n{"time": 1.0}\n'
+        )
+        with pytest.raises(TraceError):
+            ArrivalTrace.load(missing_key)
+        not_npz = tmp_path / "bad.npz"
+        not_npz.write_bytes(b"this is not a zip archive")
+        with pytest.raises(TraceError):
+            ArrivalTrace.load(not_npz)
+
+    def test_load_cached_shares_one_instance_and_tracks_rewrites(self, tmp_path, bursty_trace):
+        path = bursty_trace.save(tmp_path / "cache.npz")
+        first = ArrivalTrace.load_cached(path)
+        assert ArrivalTrace.load_cached(path) is first
+        # Rewriting the file (different content => different size/mtime)
+        # invalidates the memo entry.
+        bursty_trace.head(100).save(path)
+        reread = ArrivalTrace.load_cached(path)
+        assert reread is not first
+        assert reread.num_arrivals == 100
+        with pytest.raises(TraceError):
+            ArrivalTrace.load_cached(tmp_path / "missing.npz")
+
+    def test_jsonl_header_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text(
+            '{"type": "repro-trace", "version": 1, "num_arrivals": 3, '
+            '"has_sizes": false, "meta": {}}\n{"t": 1.0}\n'
+        )
+        with pytest.raises(TraceError):
+            ArrivalTrace.load(path)
+
+
+class TestEquality:
+    def test_meta_participates(self):
+        a = ArrivalTrace([0.0, 1.0], meta={"x": "1"})
+        b = ArrivalTrace([0.0, 1.0], meta={"x": "2"})
+        assert a != b
+
+    def test_sizes_participate(self):
+        a = ArrivalTrace([0.0, 1.0], job_sizes=[1.0, 1.0])
+        b = ArrivalTrace([0.0, 1.0])
+        assert a != b
+        assert a == ArrivalTrace([0.0, 1.0], job_sizes=[1.0, 1.0])

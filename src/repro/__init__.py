@@ -69,6 +69,14 @@ from repro.core import (
     solve_exact_truncated,
     solve_improved_lower_bound,
 )
+from repro.campaigns import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignStatus,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
+)
 from repro.ensemble import (
     EnsembleConfig,
     EnsembleResult,
@@ -104,7 +112,7 @@ from repro.traces import (
     synthesize_trace,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Backend",
@@ -164,6 +172,12 @@ __all__ = [
     "run_grid",
     "ReplicationStatistics",
     "ResultStore",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignStatus",
+    "campaign_status",
+    "resume_campaign",
+    "run_campaign",
     "ArrivalTrace",
     "BurstinessSummary",
     "TraceArrivals",

@@ -16,7 +16,7 @@ import math
 from pathlib import Path
 from typing import Any, Mapping, Union
 
-__all__ = ["jsonable", "dumps", "write_json"]
+__all__ = ["jsonable", "dumps", "jsonl_line", "write_json"]
 
 
 def jsonable(value: Any) -> Any:
@@ -45,6 +45,17 @@ def jsonable(value: Any) -> Any:
 def dumps(payload: Any, indent: int = 2) -> str:
     """Serialize a payload with the shared conversions and sorted keys."""
     return json.dumps(jsonable(payload), sort_keys=True, indent=indent)
+
+
+def jsonl_line(payload: Any) -> str:
+    """One compact JSON line (no trailing newline) in the shared dialect.
+
+    Append-only stores — the campaign work-queue journal, ad-hoc JSONL
+    exports — write records through this so every line follows the same
+    conversions as the pretty-printed exports (numpy scalars to numbers,
+    non-finite floats to strings, sorted keys).
+    """
+    return json.dumps(jsonable(payload), sort_keys=True, separators=(",", ":"))
 
 
 def write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> Path:

@@ -1,0 +1,262 @@
+"""Durable work queue: an append-only journal of task-state transitions.
+
+The queue never stores task *payloads* — a campaign task is content-
+addressed (``"<point digest>:<replication>"``, see
+:class:`repro.ensemble.grid.PointTask`), so the journal only records ids and
+transitions, and the scheduler regenerates specs and seeds deterministically
+from the campaign manifest on every (re)start.  Four event kinds:
+
+``enqueue``
+    The task exists and is runnable.
+``lease``
+    A worker claimed it, with a heartbeat-stamped deadline.  Leases are
+    *advisory*: a live worker past its deadline keeps its task (simulations
+    legitimately run long); a dead or expired-and-presumed-dead worker's
+    leases are reclaimed and re-enqueued at the front of the queue.
+``done``
+    The task's record was durably appended to the record store.  The record
+    append always happens *before* the ``done`` event, so a crash between
+    the two merely re-runs the task — producing a duplicate record with
+    identical simulation content (content-addressed seeds), which readers
+    de-duplicate.
+``release``
+    A lease was reclaimed; the task is runnable again.
+
+State is rebuilt by replaying the journal.  A torn trailing line (crash
+mid-append) is repaired on open (:func:`repro.ensemble.results.repair_jsonl`);
+every lease held when a previous process died is stale by construction and
+is reclaimed during replay on request.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.api.serialize import jsonl_line
+from repro.ensemble.results import iter_jsonl, repair_jsonl
+
+__all__ = ["QueueError", "TaskQueue"]
+
+
+class QueueError(RuntimeError):
+    """An impossible task-state transition (double lease, unknown id, ...)."""
+
+
+class TaskQueue:
+    """Durable FIFO task queue with advisory leases, backed by one journal.
+
+    Parameters
+    ----------
+    journal_path : str or Path
+        The append-only journal.  Created (with parents) on first use; an
+        existing journal is repaired (torn tail truncated) and replayed.
+    reclaim_stale : bool
+        Reclaim every lease found during replay (the resume path: leases of
+        a dead process are stale by definition).  Default ``True``.
+    read_only : bool
+        Replay the journal without repairing or opening it for append — the
+        inspection path (``repro-lb campaign status``) must never write to a
+        campaign directory it does not own.
+    """
+
+    def __init__(
+        self,
+        journal_path: Union[str, Path],
+        reclaim_stale: bool = True,
+        read_only: bool = False,
+    ):
+        self.path = Path(journal_path)
+        self.read_only = read_only
+        self._pending: Deque[str] = deque()
+        self._leases: Dict[str, Tuple[str, float]] = {}
+        self._done: Set[str] = set()
+        self._known: Set[str] = set()
+        self._handle = None
+        if not read_only:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            repair_jsonl(self.path)
+        if self.path.exists():
+            self._replay()
+        if not read_only:
+            self._handle = self.path.open("a", encoding="utf-8")
+        if reclaim_stale and not read_only and self._leases:
+            for task_id in list(self._leases):
+                self.release(task_id)
+
+    # ------------------------------------------------------------------ #
+    # Journal plumbing
+    # ------------------------------------------------------------------ #
+    def _replay(self) -> None:
+        for event in iter_jsonl(self.path):
+            kind = event.get("event")
+            task_id = event.get("task")
+            if kind == "enqueue":
+                self._known.add(task_id)
+                self._pending.append(task_id)
+            elif kind == "lease":
+                if task_id in self._pending:
+                    self._pending.remove(task_id)
+                self._leases[task_id] = (event.get("worker", "?"), float(event.get("deadline", 0.0)))
+            elif kind == "done":
+                self._leases.pop(task_id, None)
+                if task_id in self._pending:
+                    self._pending.remove(task_id)
+                self._done.add(task_id)
+            elif kind == "release":
+                if self._leases.pop(task_id, None) is not None:
+                    self._pending.appendleft(task_id)
+            # Unknown event kinds are skipped: newer writers must not brick
+            # older readers of a long-lived campaign directory.
+
+    def _journal(self, payload: Dict[str, Any]) -> None:
+        if self._handle is None:
+            if self.read_only:
+                raise QueueError("read-only queue: state transitions are not allowed")
+            raise QueueError("queue is closed")
+        self._handle.write(jsonl_line(payload))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TaskQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def enqueue(self, task_ids: Iterable[str]) -> int:
+        """Make tasks runnable (ids already seen — even done — are skipped,
+        which is what lets a resume idempotently re-enqueue the initial
+        batch)."""
+        added = 0
+        for task_id in task_ids:
+            if task_id in self._known:
+                continue
+            self._known.add(task_id)
+            self._journal({"event": "enqueue", "task": task_id})
+            self._pending.append(task_id)
+            added += 1
+        return added
+
+    def lease(
+        self,
+        worker: str,
+        lease_seconds: float,
+        now: Optional[float] = None,
+    ) -> Optional[str]:
+        """Claim the next runnable task for ``worker``; ``None`` when drained."""
+        if not self._pending:
+            return None
+        now = time.time() if now is None else now
+        task_id = self._pending.popleft()
+        deadline = now + lease_seconds
+        self._journal(
+            {"event": "lease", "task": task_id, "worker": worker, "deadline": deadline}
+        )
+        self._leases[task_id] = (worker, deadline)
+        return task_id
+
+    def heartbeat(
+        self, worker: str, lease_seconds: float, now: Optional[float] = None
+    ) -> None:
+        """Extend every lease ``worker`` holds (in memory only — heartbeats
+        are liveness hints, not durable state; a resumed campaign treats all
+        previous leases as stale regardless)."""
+        now = time.time() if now is None else now
+        for task_id, (holder, _) in self._leases.items():
+            if holder == worker:
+                self._leases[task_id] = (holder, now + lease_seconds)
+
+    def complete(self, task_id: str) -> None:
+        """Mark a task done (its record must already be durably stored)."""
+        if task_id in self._done:
+            return
+        if task_id not in self._known:
+            raise QueueError(f"complete() of unknown task {task_id!r}")
+        self._journal({"event": "done", "task": task_id})
+        self._leases.pop(task_id, None)
+        if task_id in self._pending:
+            self._pending.remove(task_id)
+        self._done.add(task_id)
+
+    def release(self, task_id: str) -> None:
+        """Reclaim one lease: the task goes back to the *front* of the queue
+        (it was enqueued before everything currently pending)."""
+        if self._leases.pop(task_id, None) is None:
+            raise QueueError(f"release() of unleased task {task_id!r}")
+        self._journal({"event": "release", "task": task_id})
+        self._pending.appendleft(task_id)
+
+    def reclaim(
+        self,
+        now: Optional[float] = None,
+        dead_workers: Optional[Iterable[str]] = None,
+    ) -> List[str]:
+        """Reclaim leases that expired or belong to dead workers.
+
+        Returns the reclaimed task ids (re-enqueued at the front).  This is
+        the work-stealing path: an idle worker leases reclaimed tasks before
+        anything else.
+        """
+        now = time.time() if now is None else now
+        dead = set(dead_workers or ())
+        expired = [
+            task_id
+            for task_id, (worker, deadline) in self._leases.items()
+            if worker in dead or deadline < now
+        ]
+        for task_id in expired:
+            self.release(task_id)
+        return expired
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def is_done(self, task_id: str) -> bool:
+        return task_id in self._done
+
+    def known_ids(self) -> Set[str]:
+        """Every task id ever enqueued (a copy; includes done tasks)."""
+        return set(self._known)
+
+    def lease_of(self, task_id: str) -> Optional[Tuple[str, float]]:
+        """``(worker, deadline)`` of a leased task, else ``None``."""
+        return self._leases.get(task_id)
+
+    def leased_by(self, worker: str) -> List[str]:
+        return [task_id for task_id, (holder, _) in self._leases.items() if holder == worker]
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def leased_count(self) -> int:
+        return len(self._leases)
+
+    @property
+    def done_count(self) -> int:
+        return len(self._done)
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks not yet done (pending + leased)."""
+        return len(self._pending) + len(self._leases)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "pending": self.pending_count,
+            "leased": self.leased_count,
+            "done": self.done_count,
+            "total": len(self._known),
+        }

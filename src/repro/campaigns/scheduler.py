@@ -1,0 +1,700 @@
+"""Campaign scheduler: durable, sharded, resumable sweeps with adaptive
+replication allocation.
+
+A *campaign* is a :class:`~repro.ensemble.grid.GridConfig` turned into a
+durable on-disk work queue of content-addressed ``(point, replication)``
+tasks and driven to completion by worker processes.  The campaign directory
+is the single source of truth::
+
+    <directory>/
+        manifest.json    grid config + digest, adaptive policy, provenance
+        journal.jsonl    append-only task-state transitions (the queue)
+        records.jsonl    append-only replication records (the results)
+
+Three properties the flat in-memory grid runner cannot offer:
+
+* **Durability / resumability.**  Every state transition and every record is
+  appended (and flushed) before it is acted on, so a campaign killed at any
+  instant — including SIGKILL mid-append — resumes from what is on disk:
+  done tasks are skipped, stale leases reclaimed, a torn trailing line
+  repaired, and the re-run of an in-flight task regenerates the *identical*
+  record from its content-addressed seed.  The final per-point estimates of
+  an interrupted-and-resumed campaign are bitwise identical to an
+  uninterrupted run.
+
+* **Adaptive replication allocation.**  With a target relative precision,
+  the per-point Student-t stopping rule (the same rule
+  :mod:`repro.ensemble.runner` applies to one ensemble) decides *per grid
+  point* whether to retire it or enqueue another batch — replications are
+  spent where confidence intervals are widest (high-``rho`` points, bursty
+  workloads) instead of uniformly.
+
+* **O(points) memory.**  Records are folded through constant-memory
+  streaming accumulators (:mod:`repro.campaigns.accumulators`) the moment
+  they arrive; no per-job list ever exists, so the reachable campaign size
+  is bounded by disk, not RAM.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.api.spec import SpecError
+from repro.campaigns.accumulators import PointAccumulator
+from repro.campaigns.manifest import CampaignManifest, grid_digest, grid_to_dict
+from repro.campaigns.queue import TaskQueue
+from repro.campaigns.worker import MSG_CLAIM, MSG_DONE, execute_task, worker_loop
+from repro.ensemble.grid import GridConfig, PointTask, point_digest, point_seed, point_tasks, task_id_for
+from repro.ensemble.results import ResultStore, provenance, repair_jsonl
+from repro.ensemble.runner import DEFAULT_BATCH_SIZE
+from repro.utils.tables import format_table
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignStatus",
+    "campaign_fingerprint",
+    "campaign_status",
+    "resume_campaign",
+    "run_campaign",
+]
+
+JOURNAL_FILENAME = "journal.jsonl"
+RECORDS_FILENAME = "records.jsonl"
+
+#: Tasks kept in flight per worker: one executing, one queued behind it so a
+#: worker never idles waiting for the scheduler's next lease round-trip.
+PREFETCH = 2
+
+#: The scheduler gives up after this many worker deaths per started worker —
+#: a crash *loop* is a bug, not an operational hiccup.
+MAX_RESPAWNS_PER_WORKER = 3
+
+
+class CampaignError(RuntimeError):
+    """Unrecoverable campaign failure (crash loops, directory mismatch)."""
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign: a sweep grid, a directory, and an allocation policy.
+
+    Parameters
+    ----------
+    grid : GridConfig
+        The swept experiment axes.  ``grid.replications`` is the *initial*
+        batch per point; ``grid.workers`` the worker process count.
+    directory : Path
+        Campaign home (manifest, journal, records).  Created on first run;
+        must not already hold a different campaign.
+    target_relative_half_width : float or None
+        Per-point relative-precision target.  ``None`` runs exactly the
+        initial batch everywhere (a durable, resumable plain grid).
+    max_replications : int
+        Per-point replication cap for the adaptive mode.
+    batch_size : int
+        Replications enqueued per adaptive extension round.
+    lease_seconds : float
+        Advisory lease duration stamped on worker claims.
+    """
+
+    grid: GridConfig
+    directory: Path
+    target_relative_half_width: Optional[float] = None
+    max_replications: int = 64
+    batch_size: int = DEFAULT_BATCH_SIZE
+    lease_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "directory", Path(self.directory))
+        check_integer("batch_size", self.batch_size, minimum=1)
+        check_positive("lease_seconds", self.lease_seconds)
+        if self.target_relative_half_width is not None:
+            check_positive("target_relative_half_width", self.target_relative_half_width)
+            check_integer(
+                "max_replications", self.max_replications, minimum=self.grid.replications
+            )
+        else:
+            check_integer("max_replications", self.max_replications, minimum=1)
+
+    def manifest(self) -> CampaignManifest:
+        return CampaignManifest(
+            grid=grid_to_dict(self.grid),
+            grid_digest=grid_digest(self.grid),
+            target_relative_half_width=self.target_relative_half_width,
+            max_replications=self.max_replications,
+            batch_size=self.batch_size,
+            lease_seconds=self.lease_seconds,
+            provenance=provenance(),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """Final streamed summary of one grid point (no per-record state)."""
+
+    labels: Mapping[str, Any]
+    digest: str
+    replications: int
+    converged: bool
+    metrics: Mapping[str, Mapping[str, Any]]
+
+    def summary_row(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = dict(self.labels)
+        delay = self.metrics.get("mean_delay", {})
+        row["mean_delay"] = delay.get("mean", float("nan"))
+        row["delay_half_width"] = delay.get("half_width", float("nan"))
+        row["replications"] = self.replications
+        row["converged"] = self.converged
+        return row
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Per-point streamed summaries of one campaign run (or partial run)."""
+
+    directory: Path
+    grid_digest: str
+    points: Tuple[CampaignPoint, ...]
+    complete: bool
+    executed_tasks: int
+    wall_seconds: float = float("nan")
+
+    @property
+    def total_replications(self) -> int:
+        return sum(point.replications for point in self.points)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """One flat summary record per grid point (CSV/JSONL-friendly)."""
+        return [point.summary_row() for point in self.points]
+
+    def as_table(self) -> str:
+        rows = self.records()
+        if not rows:
+            return "(empty campaign)"
+        headers = list(rows[0].keys())
+        status = "complete" if self.complete else "INTERRUPTED (resume to finish)"
+        title = (
+            f"campaign {self.grid_digest} — {len(self.points)} points, "
+            f"{self.total_replications} replications, {status}"
+        )
+        return format_table(headers, [[row.get(h, "-") for h in headers] for row in rows], title=title)
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Read-only snapshot of a campaign directory."""
+
+    directory: Path
+    grid_digest: str
+    counts: Mapping[str, int]
+    points: Tuple[CampaignPoint, ...]
+    complete: bool
+
+    def as_table(self) -> str:
+        rows = [point.summary_row() for point in self.points]
+        headers = list(rows[0].keys()) if rows else []
+        counts = self.counts
+        title = (
+            f"campaign {self.grid_digest} at {self.directory}: "
+            f"{counts['done']}/{counts['total']} tasks done, "
+            f"{counts['pending']} pending, {counts['leased']} leased — "
+            f"{'complete' if self.complete else 'resumable'}"
+        )
+        return format_table(headers, [[row.get(h, "-") for h in headers] for row in rows], title=title)
+
+
+# --------------------------------------------------------------------- #
+# Internal per-point scheduler state: O(points) total, never O(jobs).
+# --------------------------------------------------------------------- #
+class _PointState:
+    __slots__ = ("point", "digest", "seed", "allocated", "accumulator", "retired", "converged")
+
+    def __init__(self, point: Mapping[str, Any], confidence: float):
+        self.point = point
+        self.digest = point_digest(point["labels"])
+        self.seed = None
+        self.allocated = 0
+        self.accumulator = PointAccumulator(confidence=confidence)
+        self.retired = False
+        self.converged = False
+
+
+class _Campaign:
+    """One scheduling session over a campaign directory (create or resume)."""
+
+    def __init__(
+        self,
+        manifest: CampaignManifest,
+        directory: Path,
+        workers: Optional[int] = None,
+    ):
+        self.manifest = manifest
+        self.directory = Path(directory)
+        self.grid = manifest.grid_config(workers=workers)
+        self.workers = self.grid.workers
+        self.store = ResultStore(self.directory / RECORDS_FILENAME)
+        repair_jsonl(self.store.path)
+        self.queue = TaskQueue(self.directory / JOURNAL_FILENAME, reclaim_stale=True)
+        self.executed = 0
+        self.states: Dict[str, _PointState] = {}
+        self.order: List[str] = []
+        for point in self.grid.points():
+            state = _PointState(point, self.grid.confidence)
+            state.seed = point_seed(self.grid.seed, point["labels"])
+            if state.digest in self.states:
+                raise CampaignError(f"duplicate grid point digest {state.digest}")
+            self.states[state.digest] = state
+            self.order.append(state.digest)
+        self._restore()
+
+    # -------------------------------------------------------------- #
+    # Durable-state restoration (no-op on a fresh directory)
+    # -------------------------------------------------------------- #
+    def _restore(self) -> None:
+        # Allocation counts: tasks are enqueued with contiguous replication
+        # indices, so allocation = highest known index + 1 per point.
+        for task_id in self.queue.known_ids():
+            digest, _, replication = task_id.rpartition(":")
+            state = self.states.get(digest)
+            if state is None:
+                raise CampaignError(
+                    f"journal task {task_id!r} does not belong to this grid — "
+                    "the directory holds a different campaign"
+                )
+            state.allocated = max(state.allocated, int(replication) + 1)
+        # Seed (or idempotently re-seed) the initial batch everywhere.
+        for digest in self.order:
+            state = self.states[digest]
+            self.queue.enqueue(
+                task_id_for(digest, index) for index in range(self.grid.replications)
+            )
+            state.allocated = max(state.allocated, self.grid.replications)
+        # Fold what is already on disk.  Records may be out of order
+        # (many workers) or duplicated (completion marker lost in a crash);
+        # the ordered accumulator handles both.
+        for record in self.store.stream():
+            state = self.states.get(record.get("point", ""))
+            if state is None:
+                continue
+            state.accumulator.add(record["replication"], record)
+        # Re-run the allocation decisions that completed records imply.  This
+        # recovers a crash that landed after the last record of a batch but
+        # before the extension was enqueued — and, because decisions are a
+        # deterministic function of the (deterministic) record values, it
+        # always reproduces exactly the decisions the uninterrupted run took.
+        for digest in self.order:
+            self._decide(self.states[digest])
+
+    # -------------------------------------------------------------- #
+    # Task plumbing
+    # -------------------------------------------------------------- #
+    def _task_for(self, task_id: str) -> PointTask:
+        digest, _, replication = task_id.rpartition(":")
+        state = self.states[digest]
+        return point_tasks(self.grid, state.point, count=1, start=int(replication))[0]
+
+    def _shared_line(self, state: _PointState) -> Dict[str, Any]:
+        spec = state.point["spec"]
+        if state.seed is not None:
+            spec = spec.with_seed(state.seed)
+        return {
+            "spec": spec.to_dict(),
+            "backend": state.point["backend"],
+            "campaign": self.manifest.grid_digest,
+            "point": state.digest,
+            "labels": dict(state.point["labels"]),
+            "ensemble_seed": state.seed,
+            "confidence": self.grid.confidence,
+        }
+
+    def _handle_done(self, task_id: str, record: Dict[str, Any]) -> None:
+        digest, _, _ = task_id.rpartition(":")
+        state = self.states[digest]
+        # Record first, completion marker second: a crash between the two
+        # merely re-runs the task into a duplicate record with identical
+        # simulation content, which the ordered fold ignores.
+        line = self._shared_line(state)
+        line.update(record)
+        self.store.extend([line])
+        self.queue.complete(task_id)
+        state.accumulator.add(record["replication"], record)
+        self.executed += 1
+        self._decide(state)
+
+    def _decide(self, state: _PointState) -> None:
+        """Retire a point or enqueue its next replication batch.
+
+        Called whenever the point *might* have all allocated records folded.
+        A deterministic function of the folded record values alone — never
+        of scheduling order, worker count, or interruption history.
+        """
+        if state.retired or state.accumulator.count < state.allocated:
+            return
+        target = self.manifest.target_relative_half_width
+        if target is None:
+            state.retired = True
+            state.converged = True
+            return
+        if state.accumulator.precision_reached(target):
+            state.retired = True
+            state.converged = True
+            return
+        if state.allocated >= self.manifest.max_replications:
+            state.retired = True
+            state.converged = False
+            return
+        count = min(
+            self.manifest.batch_size, self.manifest.max_replications - state.allocated
+        )
+        self.queue.enqueue(
+            task_id_for(state.digest, state.allocated + index) for index in range(count)
+        )
+        state.allocated += count
+
+    @property
+    def finished(self) -> bool:
+        return self.queue.outstanding == 0 and all(
+            state.retired for state in self.states.values()
+        )
+
+    # -------------------------------------------------------------- #
+    # Drivers
+    # -------------------------------------------------------------- #
+    def drive(self, max_tasks: Optional[int] = None) -> None:
+        if self.workers <= 1:
+            self._drive_inline(max_tasks)
+        else:
+            self._drive_pool(max_tasks)
+
+    def _drive_inline(self, max_tasks: Optional[int]) -> None:
+        while not self.finished:
+            if max_tasks is not None and self.executed >= max_tasks:
+                return
+            task_id = self.queue.lease("inline", self.manifest.lease_seconds)
+            if task_id is None:
+                raise CampaignError(
+                    "campaign wedged: nothing runnable but points not retired"
+                )
+            self._handle_done(task_id, execute_task(self._task_for(task_id)))
+
+    def _drive_pool(self, max_tasks: Optional[int]) -> None:
+        context = multiprocessing.get_context()
+        outbox = context.Queue()
+        inboxes: Dict[str, Any] = {}
+        processes: Dict[str, Any] = {}
+        in_flight: Dict[str, set] = {}
+        next_worker = 0
+        respawns = 0
+
+        def spawn() -> str:
+            nonlocal next_worker
+            worker_id = f"w{next_worker}"
+            next_worker += 1
+            inbox = context.Queue()
+            process = context.Process(
+                target=worker_loop, args=(worker_id, inbox, outbox), daemon=True
+            )
+            process.start()
+            inboxes[worker_id] = inbox
+            processes[worker_id] = process
+            in_flight[worker_id] = set()
+            return worker_id
+
+        def feed(worker_id: str) -> None:
+            while len(in_flight[worker_id]) < PREFETCH:
+                task_id = self.queue.lease(worker_id, self.manifest.lease_seconds)
+                if task_id is None:
+                    return
+                in_flight[worker_id].add(task_id)
+                inboxes[worker_id].put(self._task_for(task_id))
+
+        for _ in range(self.workers):
+            spawn()
+        try:
+            while not self.finished:
+                if max_tasks is not None and self.executed >= max_tasks:
+                    return
+                for worker_id in list(processes):
+                    feed(worker_id)
+                try:
+                    message = outbox.get(timeout=0.2)
+                except queue_module.Empty:
+                    message = None
+                if message is not None:
+                    kind = message[0]
+                    if kind == MSG_CLAIM:
+                        _, worker_id, _task = message
+                        # The claim doubles as a heartbeat: re-stamp every
+                        # lease the worker holds.
+                        self.queue.heartbeat(worker_id, self.manifest.lease_seconds)
+                    elif kind == MSG_DONE:
+                        _, worker_id, task_id, record = message
+                        in_flight.get(worker_id, set()).discard(task_id)
+                        self._handle_done(task_id, record)
+                        if worker_id in processes:
+                            feed(worker_id)
+                # Liveness: reclaim from the dead, respawn replacements.
+                for worker_id, process in list(processes.items()):
+                    if process.is_alive():
+                        continue
+                    for task_id in self.queue.leased_by(worker_id):
+                        self.queue.release(task_id)
+                    del processes[worker_id], inboxes[worker_id], in_flight[worker_id]
+                    if not self.finished:
+                        respawns += 1
+                        if respawns > MAX_RESPAWNS_PER_WORKER * self.workers:
+                            raise CampaignError(
+                                f"giving up after {respawns} worker deaths — "
+                                "workers are crash-looping (see records/journal "
+                                f"in {self.directory})"
+                            )
+                        spawn()
+        finally:
+            for worker_id, inbox in inboxes.items():
+                try:
+                    inbox.put(None)
+                except (OSError, ValueError):  # pragma: no cover - teardown race
+                    pass
+            deadline = time.time() + 5.0
+            for process in processes.values():
+                process.join(timeout=max(0.1, deadline - time.time()))
+                if process.is_alive():
+                    process.terminate()
+            outbox.close()
+
+    # -------------------------------------------------------------- #
+    # Results
+    # -------------------------------------------------------------- #
+    def result(self, wall_seconds: float) -> CampaignResult:
+        points = tuple(
+            CampaignPoint(
+                labels=dict(self.states[digest].point["labels"]),
+                digest=digest,
+                replications=self.states[digest].accumulator.count,
+                converged=self.states[digest].converged,
+                metrics=self.states[digest].accumulator.summary(),
+            )
+            for digest in self.order
+        )
+        return CampaignResult(
+            directory=self.directory,
+            grid_digest=self.manifest.grid_digest,
+            points=points,
+            complete=self.finished,
+            executed_tasks=self.executed,
+            wall_seconds=wall_seconds,
+        )
+
+    def close(self) -> None:
+        self.queue.close()
+
+
+# --------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------- #
+def run_campaign(
+    grid: Optional[GridConfig] = None,
+    directory: Union[str, Path, None] = None,
+    target_relative_half_width: Optional[float] = None,
+    max_replications: int = 64,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    lease_seconds: float = 300.0,
+    config: Optional[CampaignConfig] = None,
+    max_tasks: Optional[int] = None,
+) -> CampaignResult:
+    """Create a campaign directory and drive it (to completion by default).
+
+    Parameters
+    ----------
+    grid, directory :
+        The sweep and its durable home — or pass a prebuilt ``config``.
+    target_relative_half_width, max_replications, batch_size, lease_seconds :
+        See :class:`CampaignConfig`.
+    max_tasks : int, optional
+        Stop (gracefully, durably) after this many task completions — the
+        deterministic way to interrupt a campaign in tests, examples and CI;
+        finish it later with :func:`resume_campaign`.
+
+    Returns
+    -------
+    CampaignResult
+        Streamed per-point summaries; ``complete`` is ``False`` when
+        interrupted.
+    """
+    if config is None:
+        if grid is None or directory is None:
+            raise SpecError("run_campaign needs grid= and directory= (or config=)")
+        config = CampaignConfig(
+            grid=grid,
+            directory=Path(directory),
+            target_relative_half_width=target_relative_half_width,
+            max_replications=max_replications,
+            batch_size=batch_size,
+            lease_seconds=lease_seconds,
+        )
+    directory = Path(config.directory)
+    manifest = config.manifest()
+    existing = directory / "manifest.json"
+    if existing.exists():
+        stored = CampaignManifest.load(directory)
+        if stored.grid_digest != manifest.grid_digest:
+            raise CampaignError(
+                f"{directory} already holds campaign {stored.grid_digest}, "
+                f"which differs from the requested grid ({manifest.grid_digest}); "
+                "use a fresh directory or resume_campaign() the existing one"
+            )
+        manifest = stored  # the stored policy wins: the campaign is durable
+    else:
+        manifest.write(directory)
+    return _drive_session(manifest, directory, workers=None, max_tasks=max_tasks)
+
+
+def resume_campaign(
+    directory: Union[str, Path],
+    workers: Optional[int] = None,
+    max_tasks: Optional[int] = None,
+) -> CampaignResult:
+    """Resume an interrupted campaign from its directory.
+
+    Skips done tasks, reclaims stale leases, repairs torn trailing lines,
+    re-runs any task whose completion was lost, and continues the adaptive
+    allocation exactly where the records on disk imply it stood.  Resuming a
+    *finished* campaign is a cheap no-op that just recomputes the summaries.
+    """
+    directory = Path(directory)
+    manifest = CampaignManifest.load(directory)
+    return _drive_session(manifest, directory, workers=workers, max_tasks=max_tasks)
+
+
+def _drive_session(
+    manifest: CampaignManifest,
+    directory: Path,
+    workers: Optional[int],
+    max_tasks: Optional[int],
+) -> CampaignResult:
+    started = time.perf_counter()
+    session = _Campaign(manifest, directory, workers=workers)
+    try:
+        session.drive(max_tasks=max_tasks)
+        return session.result(time.perf_counter() - started)
+    finally:
+        session.close()
+
+
+def campaign_status(directory: Union[str, Path]) -> CampaignStatus:
+    """Read-only snapshot: task counts plus per-point progress.
+
+    Never writes to the directory, so it is safe to point at a campaign
+    another process is driving (the snapshot is then merely a little stale).
+    """
+    directory = Path(directory)
+    manifest = CampaignManifest.load(directory)
+    grid = manifest.grid_config()
+    task_queue = TaskQueue(
+        directory / JOURNAL_FILENAME, reclaim_stale=False, read_only=True
+    )
+    states: Dict[str, _PointState] = {}
+    order: List[str] = []
+    for point in grid.points():
+        state = _PointState(point, grid.confidence)
+        states[state.digest] = state
+        order.append(state.digest)
+    for task_id in task_queue.known_ids():
+        digest, _, replication = task_id.rpartition(":")
+        if digest in states:
+            states[digest].allocated = max(states[digest].allocated, int(replication) + 1)
+    store = ResultStore(directory / RECORDS_FILENAME)
+    for record in store.stream():
+        state = states.get(record.get("point", ""))
+        if state is not None:
+            state.accumulator.add(record["replication"], record)
+    target = manifest.target_relative_half_width
+    points = []
+    for digest in order:
+        state = states[digest]
+        done = state.accumulator.count >= state.allocated
+        converged = done and (target is None or state.accumulator.precision_reached(target))
+        points.append(
+            CampaignPoint(
+                labels=dict(state.point["labels"]),
+                digest=digest,
+                replications=state.accumulator.count,
+                converged=converged,
+                metrics=state.accumulator.summary(),
+            )
+        )
+    counts = task_queue.counts()
+    return CampaignStatus(
+        directory=directory,
+        grid_digest=manifest.grid_digest,
+        counts=counts,
+        points=tuple(points),
+        complete=counts["total"] > 0 and counts["done"] == counts["total"],
+    )
+
+
+def campaign_fingerprint(directory: Union[str, Path]) -> Dict[str, Any]:
+    """Canonical, comparison-safe digest of a campaign's *deterministic* content.
+
+    Two campaigns of the same grid — one uninterrupted, one SIGKILLed and
+    resumed, regardless of worker counts — must produce equal fingerprints:
+    per-point streamed estimates plus every de-duplicated simulation record
+    with wall-clock noise stripped.  Non-finite floats are stringified
+    (``"nan"`` never compares equal to itself as a float), so plain ``==``
+    works.
+    """
+    from repro.api.serialize import jsonable
+    from repro.ensemble.runner import EnsembleResult
+
+    directory = Path(directory)
+    manifest = CampaignManifest.load(directory)
+    grid = manifest.grid_config()
+    accumulators: Dict[str, PointAccumulator] = {}
+    labels: Dict[str, Mapping[str, Any]] = {}
+    order: List[str] = []
+    for point in grid.points():
+        digest = point_digest(point["labels"])
+        accumulators[digest] = PointAccumulator(confidence=grid.confidence)
+        labels[digest] = dict(point["labels"])
+        order.append(digest)
+    noise = set(EnsembleResult.TIMING_KEYS) | {"provenance"}
+    seen = set()
+    records: List[Tuple[str, int, str]] = []
+    store = ResultStore(directory / RECORDS_FILENAME)
+    for record in store.stream():
+        digest = record.get("point", "")
+        accumulator = accumulators.get(digest)
+        if accumulator is None:
+            continue
+        replication = int(record["replication"])
+        if (digest, replication) in seen:
+            continue
+        seen.add((digest, replication))
+        accumulator.add(replication, record)
+        core = {key: value for key, value in record.items() if key not in noise}
+        records.append((digest, replication, json.dumps(jsonable(core), sort_keys=True)))
+    records.sort()
+    return {
+        "grid": manifest.grid_digest,
+        "points": {
+            digest: jsonable(
+                {
+                    "labels": labels[digest],
+                    "replications": accumulators[digest].count,
+                    "metrics": accumulators[digest].summary(),
+                }
+            )
+            for digest in order
+        },
+        "records": [line for _, _, line in records],
+    }

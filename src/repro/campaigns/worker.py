@@ -1,0 +1,101 @@
+"""Campaign worker processes: lease, simulate, report, heartbeat.
+
+A worker is a plain ``multiprocessing.Process`` running
+:func:`worker_loop`: it pulls :class:`~repro.ensemble.grid.PointTask` items
+from its inbox, executes each replication through the registered backend
+(exactly the code path :mod:`repro.ensemble.runner` uses, so a campaign
+record is bitwise identical to an ensemble record of the same seed), and
+reports ``claim`` / ``done`` messages on the shared outbox.  The ``claim``
+message doubles as the heartbeat: the scheduler stamps the lease deadline
+from it.
+
+Workers receive only picklable plain data (frozen specs, integer seeds) and
+never open the journal or the record store — all durable writes go through
+the scheduler process, which keeps the on-disk state single-writer and
+crash-consistent.
+
+Test hooks (environment variables, inert in production):
+
+``REPRO_CAMPAIGN_TASK_DELAY``
+    Float seconds slept before each task — widens the window an
+    interruption test needs to land a SIGKILL mid-sweep.
+``REPRO_CAMPAIGN_CRASH_AFTER`` / ``REPRO_CAMPAIGN_CRASH_WORKER``
+    Makes the matching worker (default ``"w0"``) SIGKILL itself after
+    executing N tasks — *after* the simulation but *before* reporting, the
+    worst-case window the lease-reclaim machinery must cover.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Dict, Optional
+
+from repro.ensemble.grid import PointTask
+
+__all__ = ["execute_task", "worker_loop"]
+
+#: Outbox message kinds (tuples keep the queue payloads picklable and tiny).
+MSG_CLAIM = "claim"
+MSG_DONE = "done"
+MSG_BYE = "bye"
+
+
+def execute_task(task: PointTask) -> Dict[str, Any]:
+    """Run one replication task; returns the plain replication record.
+
+    Identical record shape to
+    :func:`repro.ensemble.runner._execute_replication` — replication index,
+    derived seed, every scalar metric, wall seconds — plus the task's content
+    address, so the record can be routed back to its grid point by readers
+    that only see the JSONL store.
+    """
+    from repro.api.backends import get_backend
+
+    started = time.perf_counter()
+    metrics = get_backend(task.backend).run_once(task.spec, task.seed)
+    record: Dict[str, Any] = {"replication": task.replication, "seed": task.seed}
+    record.update(metrics)
+    record["wall_seconds"] = time.perf_counter() - started
+    return record
+
+
+def _test_hooks(worker_id: str):
+    """Resolve the crash/delay test hooks once per worker."""
+    delay = float(os.environ.get("REPRO_CAMPAIGN_TASK_DELAY", "0") or 0)
+    crash_after: Optional[int] = None
+    raw = os.environ.get("REPRO_CAMPAIGN_CRASH_AFTER")
+    if raw and worker_id == os.environ.get("REPRO_CAMPAIGN_CRASH_WORKER", "w0"):
+        crash_after = int(raw)
+    return delay, crash_after
+
+
+def worker_loop(worker_id: str, inbox, outbox) -> None:
+    """Process tasks until a ``None`` sentinel arrives.
+
+    Parameters
+    ----------
+    worker_id : str
+        Stable name used in lease journal entries and outbox messages.
+    inbox : multiprocessing.Queue
+        This worker's private task queue (``PointTask`` items or ``None``).
+    outbox : multiprocessing.Queue
+        Shared result queue back to the scheduler.
+    """
+    delay, crash_after = _test_hooks(worker_id)
+    executed = 0
+    while True:
+        task = inbox.get()
+        if task is None:
+            outbox.put((MSG_BYE, worker_id))
+            return
+        outbox.put((MSG_CLAIM, worker_id, task.task_id))
+        if delay:
+            time.sleep(delay)
+        record = execute_task(task)
+        executed += 1
+        if crash_after is not None and executed >= crash_after:
+            # Die the hard way, mid-window: work done, completion unreported.
+            os.kill(os.getpid(), signal.SIGKILL)
+        outbox.put((MSG_DONE, worker_id, task.task_id, record))

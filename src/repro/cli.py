@@ -15,7 +15,12 @@ Installed as the ``repro-lb`` console script; also runnable as
 * ``trace``     — trace-driven workloads: ``trace stats`` (burstiness
   summary of a trace file), ``trace fit`` (fit an analyzable arrival model
   and emit a runnable spec), ``trace run`` (replay a trace through the
-  cluster simulator).
+  cluster simulator),
+* ``campaign``  — durable, resumable sweep campaigns: ``campaign run``
+  (create a campaign directory and drive it), ``campaign status``
+  (read-only progress snapshot), ``campaign resume`` (finish an
+  interrupted campaign; results are bitwise identical to an
+  uninterrupted run).
 
 ``run``, ``analyze`` and ``fleet`` all accept ``--json <path>`` and export
 through one shared serialization helper (:mod:`repro.api.serialize`), so
@@ -231,6 +236,61 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_run.add_argument("--seed", type=int, default=12345, help="base seed")
     trace_run.add_argument("--json", type=str, default=None,
                            help="write the full RunResult to this JSON file")
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="durable, resumable sweep campaigns with adaptive replication allocation",
+    )
+    campaign_commands = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="create a campaign directory for a sweep grid and drive it"
+    )
+    campaign_run.add_argument("--dir", type=str, required=True,
+                              help="campaign directory (manifest, journal, records)")
+    campaign_run.add_argument("--servers", "-N", type=int, nargs="+", default=[100, 1000],
+                              help="swept pool sizes N")
+    campaign_run.add_argument("--choices", "-d", type=int, nargs="+", default=[2],
+                              help="swept poll counts d")
+    campaign_run.add_argument("--utilizations", "-u", type=float, nargs="+", default=[0.9],
+                              help="swept per-server loads rho")
+    campaign_run.add_argument("--policy", choices=["sqd", "jsq", "random"], default="sqd",
+                              help="dispatching policy for every point")
+    campaign_run.add_argument("--events", type=int, default=200_000,
+                              help="simulated events per replication")
+    campaign_run.add_argument("--replications", "-K", type=int, default=4,
+                              help="initial replications per grid point")
+    campaign_run.add_argument("--workers", "-w", type=int, default=1, help="worker processes")
+    campaign_run.add_argument("--seed", type=int, default=12345,
+                              help="grid seed (per-point seeds are content-derived)")
+    campaign_run.add_argument("--confidence", type=float, default=0.95,
+                              help="two-sided CI level of the per-point intervals")
+    campaign_run.add_argument("--target-precision", type=float, default=None,
+                              help="per-point relative CI half-width to stop at "
+                                   "(extra replications go where intervals are widest)")
+    campaign_run.add_argument("--max-replications", type=int, default=64,
+                              help="per-point replication cap for --target-precision")
+    campaign_run.add_argument("--batch-size", type=int, default=4,
+                              help="replications enqueued per adaptive extension round")
+    campaign_run.add_argument("--max-tasks", type=int, default=None,
+                              help="stop (durably) after this many task completions; "
+                                   "finish later with `campaign resume`")
+
+    campaign_status_parser = campaign_commands.add_parser(
+        "status", help="read-only progress snapshot of a campaign directory"
+    )
+    campaign_status_parser.add_argument("--dir", type=str, required=True, help="campaign directory")
+    campaign_status_parser.add_argument("--json", type=str, default=None,
+                                        help="also write the snapshot to this JSON file")
+
+    campaign_resume = campaign_commands.add_parser(
+        "resume", help="resume an interrupted campaign from its directory"
+    )
+    campaign_resume.add_argument("--dir", type=str, required=True, help="campaign directory")
+    campaign_resume.add_argument("--workers", "-w", type=int, default=None,
+                                 help="worker processes (default: the manifest's)")
+    campaign_resume.add_argument("--max-tasks", type=int, default=None,
+                                 help="stop again after this many task completions")
 
     return parser
 
@@ -808,6 +868,73 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign(args: argparse.Namespace) -> int:
+    from repro.campaigns import (
+        CampaignError,
+        campaign_status,
+        resume_campaign,
+        run_campaign,
+    )
+    from repro.campaigns.manifest import MANIFEST_FILENAME
+    from repro.ensemble.grid import GridConfig
+
+    directory = Path(args.dir)
+    try:
+        if args.campaign_command == "run":
+            if (directory / MANIFEST_FILENAME).exists():
+                raise SystemExit(
+                    f"repro-lb campaign run: {directory} already holds a campaign — "
+                    "use `repro-lb campaign resume --dir ...` to continue it, or pick "
+                    "a fresh directory"
+                )
+            grid = GridConfig(
+                server_counts=tuple(args.servers),
+                choices=tuple(args.choices),
+                utilizations=tuple(args.utilizations),
+                policy=args.policy,
+                num_events=args.events,
+                replications=args.replications,
+                workers=args.workers,
+                seed=args.seed,
+                confidence=args.confidence,
+            )
+            result = run_campaign(
+                grid=grid,
+                directory=directory,
+                target_relative_half_width=args.target_precision,
+                max_replications=args.max_replications,
+                batch_size=args.batch_size,
+                max_tasks=args.max_tasks,
+            )
+        elif args.campaign_command == "resume":
+            result = resume_campaign(
+                directory, workers=args.workers, max_tasks=args.max_tasks
+            )
+        else:  # status
+            snapshot = campaign_status(directory)
+            print(snapshot.as_table())
+            if args.json:
+                payload = {
+                    "directory": str(snapshot.directory),
+                    "grid_digest": snapshot.grid_digest,
+                    "counts": dict(snapshot.counts),
+                    "complete": snapshot.complete,
+                    "points": [point.summary_row() for point in snapshot.points],
+                }
+                print(f"wrote {write_json(args.json, payload)}")
+            return 0
+    except (SpecError, CampaignError) as error:
+        raise SystemExit(f"repro-lb campaign {args.campaign_command}: {error}")
+    print(result.as_table())
+    if not result.complete:
+        print(
+            f"interrupted after {result.executed_tasks} task(s); "
+            f"resume with: repro-lb campaign resume --dir {directory}"
+        )
+    print(f"wall-clock: {result.wall_seconds:.2f}s")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-lb`` console script."""
     parser = _build_parser()
@@ -822,6 +949,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fleet": _command_fleet,
         "ensemble": _command_ensemble,
         "trace": _command_trace,
+        "campaign": _command_campaign,
     }
     return handlers[args.command](args)
 

@@ -21,8 +21,25 @@ bitwise identical regardless of worker count, task scheduling, or whether a
 pool is used at all.
 """
 
-from repro.ensemble.grid import GridConfig, GridPoint, GridResult, run_grid
-from repro.ensemble.results import ResultStore, git_describe, provenance, read_jsonl
+from repro.ensemble.grid import (
+    GridConfig,
+    GridPoint,
+    GridResult,
+    PointTask,
+    point_digest,
+    point_seed,
+    point_tasks,
+    run_grid,
+    task_id_for,
+)
+from repro.ensemble.results import (
+    ResultStore,
+    git_describe,
+    iter_jsonl,
+    provenance,
+    read_jsonl,
+    repair_jsonl,
+)
 from repro.ensemble.runner import (
     SIMULATION_KINDS,
     EnsembleConfig,
@@ -34,6 +51,7 @@ from repro.ensemble.stats import (
     student_t_cdf,
     student_t_quantile,
     summarize,
+    t_half_width,
 )
 
 __all__ = [
@@ -44,13 +62,21 @@ __all__ = [
     "GridConfig",
     "GridPoint",
     "GridResult",
+    "PointTask",
+    "point_digest",
+    "point_seed",
+    "point_tasks",
     "run_grid",
+    "task_id_for",
     "ReplicationStatistics",
     "student_t_cdf",
     "student_t_quantile",
     "summarize",
+    "t_half_width",
     "ResultStore",
+    "iter_jsonl",
     "read_jsonl",
+    "repair_jsonl",
     "provenance",
     "git_describe",
 ]

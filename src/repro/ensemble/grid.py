@@ -39,7 +39,17 @@ from repro.utils.seeding import spawn_seeds
 from repro.utils.tables import format_table
 from repro.utils.validation import ValidationError, check_integer
 
-__all__ = ["GridConfig", "GridPoint", "GridResult", "run_grid"]
+__all__ = [
+    "GridConfig",
+    "GridPoint",
+    "GridResult",
+    "PointTask",
+    "point_digest",
+    "point_seed",
+    "point_tasks",
+    "run_grid",
+    "task_id_for",
+]
 
 
 @dataclass(frozen=True)
@@ -305,7 +315,19 @@ class GridResult:
         return format_table(headers, rows, title=title)
 
 
-def _point_seed(grid_seed: Optional[int], labels: Mapping[str, Any]) -> Optional[int]:
+def point_digest(labels: Mapping[str, Any]) -> str:
+    """Content address of one grid point: a digest of its *labels*.
+
+    The digest identifies a point by what it **is** (its ``N``, ``d``, load,
+    workload, scenario), never by its position in the cartesian product —
+    extending a swept axis later leaves every existing point's identity, and
+    therefore its seeds and its stored records, untouched.
+    """
+    payload = json.dumps(dict(labels), sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def point_seed(grid_seed: Optional[int], labels: Mapping[str, Any]) -> Optional[int]:
     """Stable per-point seed: a digest of the grid seed and the point labels.
 
     Content addressing (instead of the point's position in the cartesian
@@ -317,6 +339,79 @@ def _point_seed(grid_seed: Optional[int], labels: Mapping[str, Any]) -> Optional
     digest = hashlib.sha256(json.dumps(dict(labels), sort_keys=True).encode()).digest()
     entropy = (int(grid_seed), int.from_bytes(digest[:8], "big"))
     return int(np.random.SeedSequence(entropy).generate_state(1, np.uint64)[0])
+
+
+# Backwards-compatible alias (pre-campaign callers imported the private name).
+_point_seed = point_seed
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One ``(grid point, replication)`` work unit — the campaign task atom.
+
+    ``task_id`` is ``"<point digest>:<replication index>"``: fully content-
+    addressed, so a durable work queue only ever needs to journal the id —
+    the spec, seed and labels are regenerated deterministically from the
+    grid configuration by :func:`point_tasks` on every (re)start.
+    """
+
+    task_id: str
+    digest: str
+    backend: str
+    spec: ExperimentSpec
+    seed: Optional[int]
+    replication: int
+    labels: Mapping[str, Any]
+
+    def runner_task(self) -> Tuple[str, ExperimentSpec, Optional[int], int]:
+        """The tuple shape :func:`~repro.ensemble.runner._execute_replication` takes."""
+        return (self.backend, self.spec, self.seed, self.replication)
+
+
+def task_id_for(digest: str, replication: int) -> str:
+    """Canonical task id of replication ``replication`` of point ``digest``."""
+    return f"{digest}:{replication}"
+
+
+def point_tasks(
+    config: GridConfig,
+    point: Mapping[str, Any],
+    count: Optional[int] = None,
+    start: int = 0,
+) -> List[PointTask]:
+    """Expand one grid point into content-addressed replication tasks.
+
+    Parameters
+    ----------
+    config : GridConfig
+        The grid the point belongs to (supplies the grid seed).
+    point : mapping
+        One entry of :meth:`GridConfig.points` (``spec``/``backend``/``labels``).
+    count : int, optional
+        Number of replication tasks (default: ``config.replications``).
+    start : int, optional
+        First replication index — task ``start + i`` always receives the
+        ``start + i``-th child seed of the point seed, so a campaign that
+        adaptively extends a point later (or resumes after a crash) hands
+        out exactly the seeds an uninterrupted run would have.
+    """
+    labels = dict(point["labels"])
+    digest = point_digest(labels)
+    seed = point_seed(config.seed, labels)
+    if count is None:
+        count = config.replications
+    return [
+        PointTask(
+            task_id=task_id_for(digest, start + offset),
+            digest=digest,
+            backend=point["backend"],
+            spec=point["spec"],
+            seed=child,
+            replication=start + offset,
+            labels=labels,
+        )
+        for offset, child in enumerate(spawn_seeds(seed, count, start=start))
+    ]
 
 
 def _point_bounds(config: GridConfig, labels: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
@@ -364,13 +459,12 @@ def run_grid(config: GridConfig) -> GridResult:
     """
     started = time.perf_counter()
     points = config.points()
-    point_seeds = [_point_seed(config.seed, point["labels"]) for point in points]
+    point_seeds = [point_seed(config.seed, point["labels"]) for point in points]
     tasks = []
-    for point_index, point in enumerate(points):
-        for replication, seed in enumerate(
-            spawn_seeds(point_seeds[point_index], config.replications)
-        ):
-            tasks.append((point["backend"], point["spec"], seed, replication))
+    for point in points:
+        # The same task factory the campaign scheduler shards over a durable
+        # queue (repro.campaigns); here the flat list feeds one in-memory pool.
+        tasks.extend(task.runner_task() for task in point_tasks(config, point))
 
     with worker_pool(config.workers) as pool:
         if pool is not None:
@@ -383,14 +477,14 @@ def run_grid(config: GridConfig) -> GridResult:
         chunk = records[
             point_index * config.replications : (point_index + 1) * config.replications
         ]
-        point_seed = point_seeds[point_index]
-        spec = point["spec"] if point_seed is None else point["spec"].with_seed(point_seed)
+        seed = point_seeds[point_index]
+        spec = point["spec"] if seed is None else point["spec"].with_seed(seed)
         ensemble_config = EnsembleConfig(
             spec=spec,
             backend=point["backend"],
             replications=config.replications,
             workers=config.workers,
-            seed=point_seed,
+            seed=seed,
             confidence=config.confidence,
         )
         grid_points.append(

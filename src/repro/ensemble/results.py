@@ -16,8 +16,10 @@ for ``git describe`` (silently degraded to ``None`` outside a git checkout).
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
+import warnings
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
@@ -25,7 +27,14 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.ensemble.runner import EnsembleResult
 
-__all__ = ["ResultStore", "git_describe", "provenance", "read_jsonl"]
+__all__ = [
+    "ResultStore",
+    "git_describe",
+    "iter_jsonl",
+    "provenance",
+    "read_jsonl",
+    "repair_jsonl",
+]
 
 
 def git_describe(path: Optional[Union[str, Path]] = None) -> Optional[str]:
@@ -64,15 +73,80 @@ def provenance() -> Dict[str, Any]:
     }
 
 
+def iter_jsonl(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Stream the records of a JSONL file one at a time (constant memory).
+
+    Blank lines are skipped.  A *trailing* record that does not parse —
+    the torn half-line a process killed mid-append leaves behind — is
+    skipped with a :class:`RuntimeWarning` instead of raising, so resuming
+    an interrupted run never chokes on its own interruption artifact.  An
+    unparsable record *followed by further data* is real corruption (whole-
+    line appends can only tear the tail) and still raises ``ValueError``.
+    """
+    source = Path(path)
+    pending_error: Optional[str] = None
+    with source.open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if pending_error is not None:
+                raise ValueError(f"corrupt JSONL record mid-file: {pending_error}")
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError as error:
+                pending_error = f"{source}:{number}: {error}"
+                continue
+            yield record
+    if pending_error is not None:
+        warnings.warn(
+            f"skipping truncated trailing record ({pending_error}) — "
+            "likely a crash mid-append; the record will be regenerated on resume",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
 def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Load every record of a JSONL file (blank lines are skipped)."""
-    records = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
-    return records
+    """Load every record of a JSONL file (see :func:`iter_jsonl`)."""
+    return list(iter_jsonl(path))
+
+
+def repair_jsonl(path: Union[str, Path]) -> int:
+    """Truncate a torn trailing record before re-opening a store for append.
+
+    Readers merely *skip* a torn tail (:func:`iter_jsonl`); a writer about
+    to append must physically remove it, otherwise the next appended line
+    would glue onto the fragment and turn a recoverable tear into mid-file
+    corruption.  Returns the number of bytes truncated (0 when clean);
+    raises ``ValueError`` on corruption that is not a trailing tear.
+    """
+    source = Path(path)
+    if not source.exists():
+        return 0
+    torn_offset: Optional[int] = None
+    offset = 0
+    with source.open("rb") as handle:
+        for raw in handle:
+            stripped = raw.strip()
+            if stripped:
+                if torn_offset is not None:
+                    raise ValueError(
+                        f"{source}: corrupt JSONL record mid-file at byte {torn_offset}"
+                    )
+                try:
+                    json.loads(stripped.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    torn_offset = offset
+            offset += len(raw)
+    if torn_offset is None:
+        return 0
+    size = source.stat().st_size
+    with source.open("rb+") as handle:
+        handle.truncate(torn_offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return size - torn_offset
 
 
 @dataclass
@@ -154,8 +228,18 @@ class ResultStore:
             return []
         return read_jsonl(self.path)
 
+    def stream(self) -> Iterator[Dict[str, Any]]:
+        """Yield records one at a time without materializing the store.
+
+        This is the constant-memory path campaign finalization folds
+        through — a million-record store is never parsed whole.
+        """
+        if not self.path.exists():
+            return
+        yield from iter_jsonl(self.path)
+
     def __iter__(self) -> Iterator[Dict[str, Any]]:
-        return iter(self.load())
+        return self.stream()
 
     def __len__(self) -> int:
         return len(self.load())

@@ -29,6 +29,7 @@ __all__ = [
     "student_t_cdf",
     "student_t_quantile",
     "summarize",
+    "t_half_width",
 ]
 
 
@@ -150,6 +151,34 @@ def student_t_quantile(confidence: float, df: int) -> float:
     return 0.5 * (low + high)
 
 
+def t_half_width(count: int, variance: float, confidence: float) -> float:
+    """Student-t CI half-width from streaming moments, no sample list needed.
+
+    This is the moments-form of :attr:`ReplicationStatistics.half_width`:
+    both evaluate ``t* * sqrt(s^2) / sqrt(K)`` in the same operation order,
+    so a streaming accumulator (:mod:`repro.campaigns.accumulators`) and the
+    batch path report identical intervals for identical moments.
+
+    Parameters
+    ----------
+    count : int
+        Number of replications ``K``.
+    variance : float
+        Unbiased sample variance (ddof=1) of the replication values.
+    confidence : float
+        Two-sided confidence level in (0, 1).
+
+    Returns
+    -------
+    float
+        The half-width; ``nan`` while ``count < 2`` (no variance estimate).
+    """
+    if count < 2 or variance != variance:
+        return float("nan")
+    standard_error = math.sqrt(variance) / math.sqrt(count)
+    return student_t_quantile(confidence, count - 1) * standard_error
+
+
 @dataclass(frozen=True)
 class ReplicationStatistics:
     """Across-replication summary of one scalar metric.
@@ -209,9 +238,7 @@ class ReplicationStatistics:
     @property
     def half_width(self) -> float:
         """Student-t CI half-width at :attr:`confidence`; ``nan`` if K < 2."""
-        if len(self.samples) < 2:
-            return float("nan")
-        return student_t_quantile(self.confidence, len(self.samples) - 1) * self.standard_error
+        return t_half_width(len(self.samples), self.variance, self.confidence)
 
     @property
     def relative_half_width(self) -> float:

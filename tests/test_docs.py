@@ -21,6 +21,7 @@ def test_docs_tree_exists():
         "README.md",
         "api.md",
         "architecture.md",
+        "campaigns.md",
         "cli.md",
         "reproducing-the-paper.md",
         "traces.md",

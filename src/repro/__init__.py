@@ -77,6 +77,12 @@ from repro.campaigns import (
     resume_campaign,
     run_campaign,
 )
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    clear as clear_faults,
+    install as install_faults,
+)
 from repro.ensemble import (
     EnsembleConfig,
     EnsembleResult,
@@ -112,7 +118,7 @@ from repro.traces import (
     synthesize_trace,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Backend",
@@ -177,6 +183,10 @@ __all__ = [
     "CampaignStatus",
     "campaign_status",
     "resume_campaign",
+    "FaultPlan",
+    "FaultSpec",
+    "clear_faults",
+    "install_faults",
     "run_campaign",
     "ArrivalTrace",
     "BurstinessSummary",

@@ -27,7 +27,7 @@ so they are never chosen implicitly — ask for them by name.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol, Tuple, runtime_checkable
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.api.spec import ExperimentSpec, SpecError
 
@@ -38,6 +38,8 @@ __all__ = [
     "get_backend",
     "available_backends",
     "backend_capabilities",
+    "fallback_chain",
+    "recoverable_backend_errors",
     "select_backend",
 ]
 
@@ -219,3 +221,53 @@ def select_backend(spec: ExperimentSpec, replicable_only: bool = False) -> Backe
         raise SpecError(f"no backend can run spec ({spec.describe()}): {detail}")
     candidates.sort(key=lambda item: (item[0], item[1]))
     return candidates[0][2]
+
+
+def recoverable_backend_errors() -> Tuple[type, ...]:
+    """Typed *runtime* failures that justify degrading to another backend.
+
+    A :class:`~repro.api.spec.SpecError` means the experiment itself is
+    malformed — falling back would silently answer a different question, so
+    it is never recoverable.  What is recoverable is a backend hitting the
+    numerical edge of its own validity while the spec remains perfectly
+    sensible: the QBD bound model turning unstable as ``rho -> 1``
+    (:class:`~repro.core.qbd_solver.UnstableBoundModelError`), a linear
+    solve failing (``numpy.linalg.LinAlgError``), or an overflow /
+    division breakdown inside an engine (``ArithmeticError``).
+    """
+    from repro.core.qbd_solver import UnstableBoundModelError
+
+    errors: List[type] = [UnstableBoundModelError, ArithmeticError]
+    try:
+        import numpy as np
+
+        errors.append(np.linalg.LinAlgError)
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        pass
+    return tuple(errors)
+
+
+def fallback_chain(spec: ExperimentSpec, exclude: Iterable[str] = ()) -> List[Backend]:
+    """Capable estimator backends for ``spec`` in auto-preference order.
+
+    The degradation path :func:`repro.api.runner.run` (and the campaign
+    workers) walk when a backend raises a recoverable runtime failure:
+    every auto-rankable backend that can run the spec, cheapest first,
+    minus the ones already tried.  Deliberately restricted to *estimator*
+    backends — degrading a bounds/limit answer into an estimate is
+    explicitly recorded by the caller, never hidden.
+    """
+    _ensure_registered()
+    tried = set(exclude)
+    candidates: List[Tuple[int, str, Backend]] = []
+    for name in sorted(_REGISTRY):
+        if name in tried:
+            continue
+        backend = _REGISTRY[name]
+        rank = backend.capabilities.auto_rank
+        if rank is None:
+            continue
+        if backend.capabilities.why_unsupported(spec) is None:
+            candidates.append((rank, name, backend))
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    return [backend for _, _, backend in candidates]

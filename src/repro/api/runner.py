@@ -17,7 +17,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
-from repro.api.backends import get_backend, require_capable, select_backend
+from repro.api.backends import (
+    fallback_chain,
+    get_backend,
+    recoverable_backend_errors,
+    require_capable,
+    select_backend,
+)
 from repro.api.serialize import dumps, write_json
 from repro.api.spec import ExperimentSpec, SpecError
 from repro.utils.tables import format_table
@@ -150,6 +156,7 @@ def run(
     max_replications: int = 64,
     seed: Optional[int] = None,
     pool=None,
+    fallback: bool = True,
 ) -> RunResult:
     """Run one experiment spec on one backend; the package's main entry point.
 
@@ -180,6 +187,14 @@ def run(
         Override for ``spec.seed`` (the spec's own seed is the default).
     pool : multiprocessing.Pool, optional
         Externally managed worker pool (sweeps pay pool start-up once).
+    fallback : bool
+        Graceful backend degradation (default on).  When the chosen
+        backend raises a *typed runtime failure* — the QBD bound model
+        turning unstable near saturation, a linear solve breaking down —
+        rather than a :class:`SpecError`, the run falls back to the next
+        capable estimator backend and records the degradation under
+        ``provenance["degraded"]`` (and mirrors it in the extras).  Pass
+        ``fallback=False`` to get the raw exception instead.
 
     Returns
     -------
@@ -206,16 +221,73 @@ def run(
         # (and any --json export of it) reproduces exactly what ran.
         spec = spec.with_seed(seed)
     engine = select_backend(spec) if backend == "auto" else require_capable(backend, spec)
-    base_seed = spec.seed
     wanted = 1 if replications is None else int(replications)
     if wanted < 1:
         raise SpecError(f"replications must be >= 1, got {replications!r}")
-    adaptive = target_relative_half_width is not None
 
     started = time.perf_counter()
+    recoverable = recoverable_backend_errors()
+    degradations: list = []
+    tried = {engine.name}
+    while True:
+        try:
+            return _execute(
+                engine,
+                spec,
+                replications=wanted,
+                workers=workers,
+                confidence=confidence,
+                target_relative_half_width=target_relative_half_width,
+                max_replications=max_replications,
+                pool=pool,
+                started=started,
+                degradations=degradations,
+            )
+        except recoverable as error:
+            if not fallback:
+                raise
+            chain = fallback_chain(spec, exclude=tried)
+            if not chain:
+                raise
+            degradations.append(
+                {"backend": engine.name, "error": f"{type(error).__name__}: {error}"}
+            )
+            engine = chain[0]
+            tried.add(engine.name)
+
+
+def _execute(
+    engine,
+    spec: ExperimentSpec,
+    replications: int,
+    workers: int,
+    confidence: float,
+    target_relative_half_width: Optional[float],
+    max_replications: int,
+    pool,
+    started: float,
+    degradations,
+) -> RunResult:
+    """One attempt on one engine; raises the engine's typed failures."""
+    base_seed = spec.seed
+    adaptive = target_relative_half_width is not None
+
     from repro.ensemble.results import provenance  # late: avoids an import cycle
 
-    if engine.capabilities.deterministic or (wanted == 1 and not adaptive):
+    def result_provenance() -> Dict[str, Any]:
+        payload = dict(provenance())
+        if degradations:
+            payload["degraded"] = [dict(entry) for entry in degradations]
+        return payload
+
+    def degraded_extras(extras: Dict[str, Any]) -> Dict[str, Any]:
+        if degradations:
+            # Mirror the headline fact into the extras so a table render
+            # (`repro-lb run`) shows the degradation without JSON spelunking.
+            extras["degraded_from"] = ",".join(entry["backend"] for entry in degradations)
+        return extras
+
+    if engine.capabilities.deterministic or (replications == 1 and not adaptive):
         metrics, extras = _single_run(engine, spec, base_seed)
         return RunResult(
             spec=spec,
@@ -225,9 +297,9 @@ def run(
             half_width=float("nan"),
             confidence=confidence,
             replications=1,
-            extras=extras,
+            extras=degraded_extras(extras),
             records=(dict(metrics),),
-            provenance=provenance(),
+            provenance=result_provenance(),
             wall_seconds=time.perf_counter() - started,
         )
 
@@ -236,7 +308,7 @@ def run(
     config = EnsembleConfig(
         spec=spec,
         backend=engine.name,
-        replications=wanted if not adaptive else max(wanted, 2),
+        replications=replications if not adaptive else max(replications, 2),
         workers=workers,
         seed=base_seed,
         confidence=confidence,
@@ -263,8 +335,8 @@ def run(
         half_width=statistics.half_width,
         confidence=confidence,
         replications=ensemble.replications,
-        extras=extras,
+        extras=degraded_extras(extras),
         records=tuple(dict(record) for record in ensemble.records),
-        provenance=provenance(),
+        provenance=result_provenance(),
         wall_seconds=time.perf_counter() - started,
     )

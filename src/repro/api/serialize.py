@@ -13,10 +13,18 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 from typing import Any, Mapping, Union
 
-__all__ = ["jsonable", "dumps", "jsonl_line", "write_json"]
+__all__ = [
+    "atomic_write_json",
+    "atomic_write_text",
+    "jsonable",
+    "dumps",
+    "jsonl_line",
+    "write_json",
+]
 
 
 def jsonable(value: Any) -> Any:
@@ -58,9 +66,35 @@ def jsonl_line(payload: Any) -> str:
     return json.dumps(jsonable(payload), sort_keys=True, separators=(",", ":"))
 
 
-def write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> Path:
-    """Write a payload as JSON; returns the path for ``print(f"wrote {...}")``."""
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically: temp file, flush, fsync, rename.
+
+    The one shared write-fsync-rename helper every whole-file JSON write
+    routes through (the campaign manifest, ``--json`` exports): a reader —
+    or a crash at any instant — sees either the complete old file or the
+    complete new file, never a half-written one, and the rename is durable
+    before this returns.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(dumps(payload, indent=indent) + "\n", encoding="utf-8")
+    scratch = target.with_name(target.name + ".tmp")
+    with scratch.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    scratch.replace(target)
     return target
+
+
+def atomic_write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> Path:
+    """Atomically write a payload in the shared JSON dialect; returns the path."""
+    return atomic_write_text(path, dumps(payload, indent=indent) + "\n")
+
+
+def write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> Path:
+    """Write a payload as JSON; returns the path for ``print(f"wrote {...}")``.
+
+    Routes through :func:`atomic_write_json`, so an export interrupted
+    mid-write never leaves a truncated file behind.
+    """
+    return atomic_write_json(path, payload, indent=indent)

@@ -144,7 +144,7 @@ class PointAccumulator:
     content-addressed seeds make a re-run's metrics identical anyway.
     """
 
-    __slots__ = ("confidence", "metrics", "next_index", "_pending")
+    __slots__ = ("confidence", "metrics", "next_index", "folded", "_pending", "_skipped")
 
     def __init__(self, confidence: float = 0.95) -> None:
         if not (0.0 < confidence < 1.0):
@@ -152,7 +152,9 @@ class PointAccumulator:
         self.confidence = confidence
         self.metrics: Dict[str, StreamingMoments] = {}
         self.next_index = 0  # replication index the ordered fold expects next
+        self.folded = 0  # records actually folded (skipped holes excluded)
         self._pending: Dict[int, Dict[str, float]] = {}
+        self._skipped: set = set()
 
     @staticmethod
     def metric_values(record: Mapping[str, Any]) -> Dict[str, float]:
@@ -168,22 +170,51 @@ class PointAccumulator:
     def add(self, replication: int, record: Mapping[str, Any]) -> bool:
         """Fold one record; returns ``False`` for duplicates."""
         replication = int(replication)
-        if replication < self.next_index or replication in self._pending:
+        if (
+            replication < self.next_index
+            or replication in self._pending
+            or replication in self._skipped
+        ):
             return False
         self._pending[replication] = self.metric_values(record)
-        while self.next_index in self._pending:
-            for key, value in self._pending.pop(self.next_index).items():
-                moments = self.metrics.get(key)
-                if moments is None:
-                    moments = self.metrics[key] = StreamingMoments()
-                moments.add(value)
-            self.next_index += 1
+        self._advance()
         return True
+
+    def skip(self, replication: int) -> bool:
+        """Advance the ordered fold past a hole that will never fill.
+
+        A quarantined poison task produces no record, ever; without a skip
+        the contiguous fold would stall at its index and every later record
+        of the point would buffer forever.  Skipped indices contribute no
+        observations — they only unblock the fold.
+        """
+        replication = int(replication)
+        if replication < self.next_index or replication in self._skipped:
+            return False
+        self._skipped.add(replication)
+        self._advance()
+        return True
+
+    def _advance(self) -> None:
+        while True:
+            if self.next_index in self._pending:
+                for key, value in self._pending.pop(self.next_index).items():
+                    moments = self.metrics.get(key)
+                    if moments is None:
+                        moments = self.metrics[key] = StreamingMoments()
+                    moments.add(value)
+                self.folded += 1
+                self.next_index += 1
+            elif self.next_index in self._skipped:
+                self._skipped.discard(self.next_index)
+                self.next_index += 1
+            else:
+                return
 
     @property
     def count(self) -> int:
-        """Replications folded so far (contiguous prefix only)."""
-        return self.next_index
+        """Replications folded so far (records only; skipped holes excluded)."""
+        return self.folded
 
     @property
     def buffered(self) -> int:

@@ -17,8 +17,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
-from repro.api.serialize import dumps, jsonable
+from repro.api.serialize import atomic_write_json, jsonable
 from repro.api.spec import SpecError, WorkloadSpec
+from repro.faults import maybe_fire
 from repro.ensemble.grid import GridConfig
 
 __all__ = [
@@ -92,6 +93,8 @@ class CampaignManifest:
     max_replications: int = 64
     batch_size: int = 4
     lease_seconds: float = 300.0
+    task_timeout_seconds: Optional[float] = None
+    quarantine_after: int = 3
     provenance: Dict[str, Any] = field(default_factory=dict)
     format: int = CAMPAIGN_FORMAT
 
@@ -111,6 +114,8 @@ class CampaignManifest:
             "max_replications": self.max_replications,
             "batch_size": self.batch_size,
             "lease_seconds": self.lease_seconds,
+            "task_timeout_seconds": self.task_timeout_seconds,
+            "quarantine_after": self.quarantine_after,
             "provenance": self.provenance,
         }
 
@@ -128,20 +133,24 @@ class CampaignManifest:
             max_replications=int(payload.get("max_replications", 64)),
             batch_size=int(payload.get("batch_size", 4)),
             lease_seconds=float(payload.get("lease_seconds", 300.0)),
+            task_timeout_seconds=(
+                None
+                if payload.get("task_timeout_seconds") is None
+                else float(payload["task_timeout_seconds"])
+            ),
+            quarantine_after=int(payload.get("quarantine_after", 3)),
             provenance=dict(payload.get("provenance", {})),
             format=int(payload.get("format", CAMPAIGN_FORMAT)),
         )
 
     def write(self, directory: Union[str, Path]) -> Path:
-        """Atomically write ``manifest.json`` (write-temp-then-rename, so a
-        crash never leaves a half-written manifest)."""
+        """Atomically write ``manifest.json`` through the shared
+        write-fsync-rename helper, so a crash at any instant leaves either
+        no manifest or a complete one — never a half-written file."""
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         target = directory / MANIFEST_FILENAME
-        scratch = target.with_suffix(".json.tmp")
-        scratch.write_text(dumps(self.to_dict()) + "\n", encoding="utf-8")
-        scratch.replace(target)
-        return target
+        maybe_fire("manifest.write", key=self.grid_digest)
+        return atomic_write_json(target, self.to_dict())
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "CampaignManifest":

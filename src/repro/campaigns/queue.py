@@ -21,11 +21,21 @@ from the campaign manifest on every (re)start.  Four event kinds:
     de-duplicate.
 ``release``
     A lease was reclaimed; the task is runnable again.
+``quarantine``
+    The task was declared poison (it killed too many workers) and removed
+    from circulation without a record: it is neither pending nor done, and
+    the campaign that owns it completes ``degraded``.
 
 State is rebuilt by replaying the journal.  A torn trailing line (crash
 mid-append) is repaired on open (:func:`repro.ensemble.results.repair_jsonl`);
 every lease held when a previous process died is stale by construction and
 is reclaimed during replay on request.
+
+Journal appends are wrapped in seeded-backoff retries
+(:mod:`repro.utils.retry`): a transient I/O error costs a few milliseconds,
+not the campaign.  Each append passes through the ``"journal.append"``
+fault-injection hook (:mod:`repro.faults`), a no-op unless a chaos plan is
+armed.
 """
 
 from __future__ import annotations
@@ -37,6 +47,8 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.api.serialize import jsonl_line
 from repro.ensemble.results import iter_jsonl, repair_jsonl
+from repro.faults import maybe_fire
+from repro.utils.retry import RetryPolicy, retry_call
 
 __all__ = ["QueueError", "TaskQueue"]
 
@@ -74,6 +86,8 @@ class TaskQueue:
         self._leases: Dict[str, Tuple[str, float]] = {}
         self._done: Set[str] = set()
         self._known: Set[str] = set()
+        self._quarantined: Set[str] = set()
+        self._retry = RetryPolicy()
         self._handle = None
         if not read_only:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -94,6 +108,11 @@ class TaskQueue:
             kind = event.get("event")
             task_id = event.get("task")
             if kind == "enqueue":
+                # Idempotent: a retried append may have journaled the same
+                # enqueue twice (the write landed, the flush reported an
+                # error); the task must still be pending exactly once.
+                if task_id in self._known:
+                    continue
                 self._known.add(task_id)
                 self._pending.append(task_id)
             elif kind == "lease":
@@ -104,10 +123,18 @@ class TaskQueue:
                 self._leases.pop(task_id, None)
                 if task_id in self._pending:
                     self._pending.remove(task_id)
+                # A completion that raced a quarantine proves the task was
+                # not poison after all: done wins, the sets stay disjoint.
+                self._quarantined.discard(task_id)
                 self._done.add(task_id)
             elif kind == "release":
                 if self._leases.pop(task_id, None) is not None:
                     self._pending.appendleft(task_id)
+            elif kind == "quarantine":
+                self._leases.pop(task_id, None)
+                if task_id in self._pending:
+                    self._pending.remove(task_id)
+                self._quarantined.add(task_id)
             # Unknown event kinds are skipped: newer writers must not brick
             # older readers of a long-lived campaign directory.
 
@@ -116,9 +143,19 @@ class TaskQueue:
             if self.read_only:
                 raise QueueError("read-only queue: state transitions are not allowed")
             raise QueueError("queue is closed")
-        self._handle.write(jsonl_line(payload))
-        self._handle.write("\n")
-        self._handle.flush()
+        line = jsonl_line(payload) + "\n"
+
+        def append() -> None:
+            maybe_fire(
+                "journal.append",
+                key=str(payload.get("task", "")),
+                handle=self._handle,
+                line=line,
+            )
+            self._handle.write(line)
+            self._handle.flush()
+
+        retry_call(append, policy=self._retry, describe="journal append")
 
     def close(self) -> None:
         if self._handle is not None:
@@ -187,6 +224,7 @@ class TaskQueue:
         self._leases.pop(task_id, None)
         if task_id in self._pending:
             self._pending.remove(task_id)
+        self._quarantined.discard(task_id)
         self._done.add(task_id)
 
     def release(self, task_id: str) -> None:
@@ -196,6 +234,25 @@ class TaskQueue:
             raise QueueError(f"release() of unleased task {task_id!r}")
         self._journal({"event": "release", "task": task_id})
         self._pending.appendleft(task_id)
+
+    def quarantine(self, task_id: str) -> None:
+        """Remove a poison task from circulation (neither pending nor done).
+
+        Idempotent.  The task keeps its journal history, so a resume knows
+        it was quarantined rather than lost; it will never be leased again
+        and never counts as outstanding.
+        """
+        if task_id in self._quarantined:
+            return
+        if task_id not in self._known:
+            raise QueueError(f"quarantine() of unknown task {task_id!r}")
+        if task_id in self._done:
+            raise QueueError(f"quarantine() of completed task {task_id!r}")
+        self._journal({"event": "quarantine", "task": task_id})
+        self._leases.pop(task_id, None)
+        if task_id in self._pending:
+            self._pending.remove(task_id)
+        self._quarantined.add(task_id)
 
     def reclaim(
         self,
@@ -225,6 +282,13 @@ class TaskQueue:
     def is_done(self, task_id: str) -> bool:
         return task_id in self._done
 
+    def is_quarantined(self, task_id: str) -> bool:
+        return task_id in self._quarantined
+
+    def quarantined_ids(self) -> Set[str]:
+        """Tasks removed from circulation as poison (a copy)."""
+        return set(self._quarantined)
+
     def known_ids(self) -> Set[str]:
         """Every task id ever enqueued (a copy; includes done tasks)."""
         return set(self._known)
@@ -249,8 +313,13 @@ class TaskQueue:
         return len(self._done)
 
     @property
+    def quarantined_count(self) -> int:
+        return len(self._quarantined)
+
+    @property
     def outstanding(self) -> int:
-        """Tasks not yet done (pending + leased)."""
+        """Tasks still owed work (pending + leased; quarantined tasks are
+        out of circulation and owed nothing)."""
         return len(self._pending) + len(self._leases)
 
     def counts(self) -> Dict[str, int]:
@@ -258,5 +327,6 @@ class TaskQueue:
             "pending": self.pending_count,
             "leased": self.leased_count,
             "done": self.done_count,
+            "quarantined": self.quarantined_count,
             "total": len(self._known),
         }

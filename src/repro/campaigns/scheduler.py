@@ -7,9 +7,10 @@ tasks and driven to completion by worker processes.  The campaign directory
 is the single source of truth::
 
     <directory>/
-        manifest.json    grid config + digest, adaptive policy, provenance
-        journal.jsonl    append-only task-state transitions (the queue)
-        records.jsonl    append-only replication records (the results)
+        manifest.json      grid config + digest, adaptive policy, provenance
+        journal.jsonl      append-only task-state transitions (the queue)
+        records.jsonl      append-only replication records (the results)
+        quarantined.jsonl  poison-task details (only written when degraded)
 
 Three properties the flat in-memory grid runner cannot offer:
 
@@ -42,14 +43,17 @@ import multiprocessing
 import queue as queue_module
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.api.serialize import jsonl_line
 from repro.api.spec import SpecError
 from repro.campaigns.accumulators import PointAccumulator
 from repro.campaigns.manifest import CampaignManifest, grid_digest, grid_to_dict
 from repro.campaigns.queue import TaskQueue
-from repro.campaigns.worker import MSG_CLAIM, MSG_DONE, execute_task, worker_loop
+from repro.campaigns.worker import MSG_BYE, MSG_CLAIM, MSG_DONE, execute_task, worker_loop
+from repro.faults import maybe_fire
 from repro.ensemble.grid import GridConfig, PointTask, point_digest, point_seed, point_tasks, task_id_for
 from repro.ensemble.results import ResultStore, provenance, repair_jsonl
 from repro.ensemble.runner import DEFAULT_BATCH_SIZE
@@ -70,6 +74,7 @@ __all__ = [
 
 JOURNAL_FILENAME = "journal.jsonl"
 RECORDS_FILENAME = "records.jsonl"
+QUARANTINE_FILENAME = "quarantined.jsonl"
 
 #: Tasks kept in flight per worker: one executing, one queued behind it so a
 #: worker never idles waiting for the scheduler's next lease round-trip.
@@ -105,6 +110,17 @@ class CampaignConfig:
         Replications enqueued per adaptive extension round.
     lease_seconds : float
         Advisory lease duration stamped on worker claims.
+    task_timeout_seconds : float or None
+        Per-task wall-clock watchdog.  A worker that makes no progress
+        (no claim, no completion) for longer than this while holding tasks
+        is presumed hung, killed, and its leases re-queued; the task it was
+        chewing on is blamed for the death.  ``None`` (the default)
+        disables the watchdog — simulations may legitimately run long.
+    quarantine_after : int
+        A task whose execution kills its worker this many times is poison:
+        it is quarantined (removed from circulation, recorded in
+        ``quarantined.jsonl``) and the campaign completes ``degraded``
+        instead of crash-looping into :class:`CampaignError`.
     """
 
     grid: GridConfig
@@ -113,11 +129,16 @@ class CampaignConfig:
     max_replications: int = 64
     batch_size: int = DEFAULT_BATCH_SIZE
     lease_seconds: float = 300.0
+    task_timeout_seconds: Optional[float] = None
+    quarantine_after: int = 3
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "directory", Path(self.directory))
         check_integer("batch_size", self.batch_size, minimum=1)
         check_positive("lease_seconds", self.lease_seconds)
+        if self.task_timeout_seconds is not None:
+            check_positive("task_timeout_seconds", self.task_timeout_seconds)
+        check_integer("quarantine_after", self.quarantine_after, minimum=1)
         if self.target_relative_half_width is not None:
             check_positive("target_relative_half_width", self.target_relative_half_width)
             check_integer(
@@ -134,6 +155,8 @@ class CampaignConfig:
             max_replications=self.max_replications,
             batch_size=self.batch_size,
             lease_seconds=self.lease_seconds,
+            task_timeout_seconds=self.task_timeout_seconds,
+            quarantine_after=self.quarantine_after,
             provenance=provenance(),
         )
 
@@ -168,6 +191,15 @@ class CampaignResult:
     complete: bool
     executed_tasks: int
     wall_seconds: float = float("nan")
+    quarantined: Tuple[str, ...] = ()
+
+    @property
+    def status(self) -> str:
+        """``"complete"``, ``"degraded"`` (finished, but poison tasks were
+        quarantined) or ``"interrupted"`` (resume to finish)."""
+        if not self.complete:
+            return "interrupted"
+        return "degraded" if self.quarantined else "complete"
 
     @property
     def total_replications(self) -> int:
@@ -182,7 +214,11 @@ class CampaignResult:
         if not rows:
             return "(empty campaign)"
         headers = list(rows[0].keys())
-        status = "complete" if self.complete else "INTERRUPTED (resume to finish)"
+        status = {
+            "complete": "complete",
+            "degraded": f"DEGRADED ({len(self.quarantined)} tasks quarantined)",
+            "interrupted": "INTERRUPTED (resume to finish)",
+        }[self.status]
         title = (
             f"campaign {self.grid_digest} — {len(self.points)} points, "
             f"{self.total_replications} replications, {status}"
@@ -199,16 +235,27 @@ class CampaignStatus:
     counts: Mapping[str, int]
     points: Tuple[CampaignPoint, ...]
     complete: bool
+    quarantined: Tuple[str, ...] = ()
+
+    @property
+    def status(self) -> str:
+        """``"complete"``, ``"degraded"`` or ``"resumable"``."""
+        if not self.complete:
+            return "resumable"
+        return "degraded" if self.quarantined else "complete"
 
     def as_table(self) -> str:
         rows = [point.summary_row() for point in self.points]
         headers = list(rows[0].keys()) if rows else []
         counts = self.counts
+        quarantined = (
+            f", {counts['quarantined']} quarantined" if counts.get("quarantined") else ""
+        )
         title = (
             f"campaign {self.grid_digest} at {self.directory}: "
             f"{counts['done']}/{counts['total']} tasks done, "
-            f"{counts['pending']} pending, {counts['leased']} leased — "
-            f"{'complete' if self.complete else 'resumable'}"
+            f"{counts['pending']} pending, {counts['leased']} leased"
+            f"{quarantined} — {self.status}"
         )
         return format_table(headers, [[row.get(h, "-") for h in headers] for row in rows], title=title)
 
@@ -217,13 +264,23 @@ class CampaignStatus:
 # Internal per-point scheduler state: O(points) total, never O(jobs).
 # --------------------------------------------------------------------- #
 class _PointState:
-    __slots__ = ("point", "digest", "seed", "allocated", "accumulator", "retired", "converged")
+    __slots__ = (
+        "point",
+        "digest",
+        "seed",
+        "allocated",
+        "abandoned",
+        "accumulator",
+        "retired",
+        "converged",
+    )
 
     def __init__(self, point: Mapping[str, Any], confidence: float):
         self.point = point
         self.digest = point_digest(point["labels"])
         self.seed = None
         self.allocated = 0
+        self.abandoned = 0  # quarantined replications: allocated, never recorded
         self.accumulator = PointAccumulator(confidence=confidence)
         self.retired = False
         self.converged = False
@@ -246,6 +303,7 @@ class _Campaign:
         repair_jsonl(self.store.path)
         self.queue = TaskQueue(self.directory / JOURNAL_FILENAME, reclaim_stale=True)
         self.executed = 0
+        self.interrupted = False
         self.states: Dict[str, _PointState] = {}
         self.order: List[str] = []
         for point in self.grid.points():
@@ -287,6 +345,15 @@ class _Campaign:
             if state is None:
                 continue
             state.accumulator.add(record["replication"], record)
+        # Quarantined tasks were allocated but will never produce a record:
+        # skip their fold slots so the ordered accumulator can advance past
+        # the permanent holes, and count them as abandoned per point.
+        for task_id in self.queue.quarantined_ids():
+            digest, _, replication = task_id.rpartition(":")
+            state = self.states.get(digest)
+            if state is not None:
+                state.accumulator.skip(int(replication))
+                state.abandoned += 1
         # Re-run the allocation decisions that completed records imply.  This
         # recovers a crash that landed after the last record of a batch but
         # before the extension was enqueued — and, because decisions are a
@@ -338,12 +405,19 @@ class _Campaign:
         A deterministic function of the folded record values alone — never
         of scheduling order, worker count, or interruption history.
         """
-        if state.retired or state.accumulator.count < state.allocated:
+        if state.retired or state.accumulator.count + state.abandoned < state.allocated:
             return
         target = self.manifest.target_relative_half_width
         if target is None:
             state.retired = True
-            state.converged = True
+            state.converged = state.abandoned == 0
+            return
+        if state.abandoned:
+            # A poisoned point cannot honestly chase its precision target:
+            # retire it unconverged rather than spend replications papering
+            # over a hole in the sample.
+            state.retired = True
+            state.converged = False
             return
         if state.accumulator.precision_reached(target):
             state.retired = True
@@ -361,6 +435,33 @@ class _Campaign:
         )
         state.allocated += count
 
+    def _quarantine(self, task_id: str, deaths: int, reason: str) -> None:
+        """Retire a poison task: journal it, detail it, unblock its point.
+
+        The detail line in ``quarantined.jsonl`` is diagnostic (it carries a
+        wall-clock timestamp and the death count), never part of the
+        campaign's deterministic content.
+        """
+        digest, _, replication = task_id.rpartition(":")
+        self.queue.quarantine(task_id)
+        detail = {
+            "task": task_id,
+            "point": digest,
+            "replication": int(replication),
+            "deaths": deaths,
+            "reason": reason,
+            "time": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        }
+        path = self.directory / QUARANTINE_FILENAME
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(jsonl_line(detail) + "\n")
+            handle.flush()
+        state = self.states.get(digest)
+        if state is not None:
+            state.accumulator.skip(int(replication))
+            state.abandoned += 1
+            self._decide(state)
+
     @property
     def finished(self) -> bool:
         return self.queue.outstanding == 0 and all(
@@ -371,10 +472,16 @@ class _Campaign:
     # Drivers
     # -------------------------------------------------------------- #
     def drive(self, max_tasks: Optional[int] = None) -> None:
-        if self.workers <= 1:
-            self._drive_inline(max_tasks)
-        else:
-            self._drive_pool(max_tasks)
+        try:
+            if self.workers <= 1:
+                self._drive_inline(max_tasks)
+            else:
+                self._drive_pool(max_tasks)
+        except KeyboardInterrupt:
+            # Ctrl-C is an operator interruption, not a failure: everything
+            # durable is already on disk, so stop feeding, let the teardown
+            # path retire the workers, and report the campaign resumable.
+            self.interrupted = True
 
     def _drive_inline(self, max_tasks: Optional[int]) -> None:
         while not self.finished:
@@ -393,6 +500,12 @@ class _Campaign:
         inboxes: Dict[str, Any] = {}
         processes: Dict[str, Any] = {}
         in_flight: Dict[str, set] = {}
+        # Liveness and blame bookkeeping (all per scheduling session):
+        last_progress: Dict[str, float] = {}  # last spawn/claim/done, per worker
+        claimed: Dict[str, Optional[str]] = {}  # task last claimed, per worker
+        attempts: Dict[str, int] = {}  # dispatch count per task (fault keys)
+        deaths: Dict[str, int] = {}  # workers killed, per blamed task
+        departed: set = set()  # workers that said bye (graceful, not a crash)
         next_worker = 0
         respawns = 0
 
@@ -408,6 +521,8 @@ class _Campaign:
             inboxes[worker_id] = inbox
             processes[worker_id] = process
             in_flight[worker_id] = set()
+            last_progress[worker_id] = time.time()
+            claimed[worker_id] = None
             return worker_id
 
         def feed(worker_id: str) -> None:
@@ -416,8 +531,49 @@ class _Campaign:
                 if task_id is None:
                     return
                 in_flight[worker_id].add(task_id)
-                inboxes[worker_id].put(self._task_for(task_id))
+                attempt = attempts.get(task_id, 0)
+                attempts[task_id] = attempt + 1
+                inboxes[worker_id].put((self._task_for(task_id), attempt))
 
+        def reap(worker_id: str) -> None:
+            """Retire one dead/departed worker: blame, quarantine, respawn."""
+            nonlocal respawns
+            graceful = worker_id in departed
+            blamed = claimed.pop(worker_id, None)
+            quarantined_now = False
+            if not graceful:
+                held = self.queue.leased_by(worker_id)
+                if blamed is None and len(held) == 1:
+                    # Died before its claim message got out; with a single
+                    # lease the culprit is unambiguous anyway.
+                    blamed = held[0]
+                if blamed is not None and not self.queue.is_done(blamed):
+                    deaths[blamed] = deaths.get(blamed, 0) + 1
+                    if deaths[blamed] >= self.manifest.quarantine_after:
+                        self._quarantine(
+                            blamed, deaths[blamed], reason="killed its worker"
+                        )
+                        quarantined_now = True
+            for task_id in self.queue.leased_by(worker_id):
+                self.queue.release(task_id)
+            del processes[worker_id], inboxes[worker_id], in_flight[worker_id]
+            last_progress.pop(worker_id, None)
+            departed.discard(worker_id)
+            if not self.finished:
+                # A graceful exit is not a crash, and a quarantine just
+                # *removed* the crash cause — neither feeds the crash-loop
+                # cap, which exists to catch unexplained repeated deaths.
+                if not (graceful or quarantined_now):
+                    respawns += 1
+                    if respawns > MAX_RESPAWNS_PER_WORKER * self.workers:
+                        raise CampaignError(
+                            f"giving up after {respawns} worker deaths — "
+                            "workers are crash-looping (see records/journal "
+                            f"in {self.directory})"
+                        )
+                spawn()
+
+        timeout = self.manifest.task_timeout_seconds
         for _ in range(self.workers):
             spawn()
         try:
@@ -433,32 +589,49 @@ class _Campaign:
                 if message is not None:
                     kind = message[0]
                     if kind == MSG_CLAIM:
-                        _, worker_id, _task = message
+                        _, worker_id, task_id = message
+                        last_progress[worker_id] = time.time()
+                        claimed[worker_id] = task_id
                         # The claim doubles as a heartbeat: re-stamp every
-                        # lease the worker holds.
-                        self.queue.heartbeat(worker_id, self.manifest.lease_seconds)
+                        # lease the worker holds.  (A chaos plan can drop or
+                        # stall the re-stamp here; leases then expire and are
+                        # reclaimed, which must never change the results.)
+                        if not maybe_fire("scheduler.heartbeat", key=worker_id):
+                            self.queue.heartbeat(worker_id, self.manifest.lease_seconds)
                     elif kind == MSG_DONE:
                         _, worker_id, task_id, record = message
+                        last_progress[worker_id] = time.time()
+                        if claimed.get(worker_id) == task_id:
+                            claimed[worker_id] = None
                         in_flight.get(worker_id, set()).discard(task_id)
                         self._handle_done(task_id, record)
                         if worker_id in processes:
                             feed(worker_id)
-                # Liveness: reclaim from the dead, respawn replacements.
+                    elif kind == MSG_BYE:
+                        _, worker_id = message
+                        departed.add(worker_id)
+                # Watchdog: a worker holding tasks but silent past the
+                # per-task wall-clock budget is presumed hung.  Kill it —
+                # the reaper below blames its claimed task and re-leases.
+                if timeout is not None:
+                    now = time.time()
+                    for worker_id, process in list(processes.items()):
+                        if not process.is_alive() or worker_id in departed:
+                            continue
+                        if in_flight[worker_id] and now - last_progress[worker_id] > timeout:
+                            process.kill()
+                            process.join(timeout=5.0)
+                # Liveness: reclaim from the dead and departed, respawn.
                 for worker_id, process in list(processes.items()):
-                    if process.is_alive():
+                    if process.is_alive() and worker_id not in departed:
                         continue
-                    for task_id in self.queue.leased_by(worker_id):
-                        self.queue.release(task_id)
-                    del processes[worker_id], inboxes[worker_id], in_flight[worker_id]
-                    if not self.finished:
-                        respawns += 1
-                        if respawns > MAX_RESPAWNS_PER_WORKER * self.workers:
-                            raise CampaignError(
-                                f"giving up after {respawns} worker deaths — "
-                                "workers are crash-looping (see records/journal "
-                                f"in {self.directory})"
-                            )
-                        spawn()
+                    if process.is_alive():
+                        # Said bye but still winding down; let it finish.
+                        process.join(timeout=5.0)
+                        if process.is_alive():  # pragma: no cover - wedged exit
+                            process.terminate()
+                            process.join(timeout=1.0)
+                    reap(worker_id)
         finally:
             for worker_id, inbox in inboxes.items():
                 try:
@@ -493,6 +666,7 @@ class _Campaign:
             complete=self.finished,
             executed_tasks=self.executed,
             wall_seconds=wall_seconds,
+            quarantined=tuple(sorted(self.queue.quarantined_ids())),
         )
 
     def close(self) -> None:
@@ -509,6 +683,8 @@ def run_campaign(
     max_replications: int = 64,
     batch_size: int = DEFAULT_BATCH_SIZE,
     lease_seconds: float = 300.0,
+    task_timeout_seconds: Optional[float] = None,
+    quarantine_after: int = 3,
     config: Optional[CampaignConfig] = None,
     max_tasks: Optional[int] = None,
 ) -> CampaignResult:
@@ -518,7 +694,8 @@ def run_campaign(
     ----------
     grid, directory :
         The sweep and its durable home — or pass a prebuilt ``config``.
-    target_relative_half_width, max_replications, batch_size, lease_seconds :
+    target_relative_half_width, max_replications, batch_size, lease_seconds,
+    task_timeout_seconds, quarantine_after :
         See :class:`CampaignConfig`.
     max_tasks : int, optional
         Stop (gracefully, durably) after this many task completions — the
@@ -529,7 +706,8 @@ def run_campaign(
     -------
     CampaignResult
         Streamed per-point summaries; ``complete`` is ``False`` when
-        interrupted.
+        interrupted, and ``status`` is ``"degraded"`` when poison tasks had
+        to be quarantined.
     """
     if config is None:
         if grid is None or directory is None:
@@ -541,6 +719,8 @@ def run_campaign(
             max_replications=max_replications,
             batch_size=batch_size,
             lease_seconds=lease_seconds,
+            task_timeout_seconds=task_timeout_seconds,
+            quarantine_after=quarantine_after,
         )
     directory = Path(config.directory)
     manifest = config.manifest()
@@ -618,12 +798,22 @@ def campaign_status(directory: Union[str, Path]) -> CampaignStatus:
         state = states.get(record.get("point", ""))
         if state is not None:
             state.accumulator.add(record["replication"], record)
+    for task_id in task_queue.quarantined_ids():
+        digest, _, replication = task_id.rpartition(":")
+        state = states.get(digest)
+        if state is not None:
+            state.accumulator.skip(int(replication))
+            state.abandoned += 1
     target = manifest.target_relative_half_width
     points = []
     for digest in order:
         state = states[digest]
-        done = state.accumulator.count >= state.allocated
-        converged = done and (target is None or state.accumulator.precision_reached(target))
+        done = state.accumulator.count + state.abandoned >= state.allocated
+        converged = (
+            done
+            and state.abandoned == 0
+            and (target is None or state.accumulator.precision_reached(target))
+        )
         points.append(
             CampaignPoint(
                 labels=dict(state.point["labels"]),
@@ -639,7 +829,11 @@ def campaign_status(directory: Union[str, Path]) -> CampaignStatus:
         grid_digest=manifest.grid_digest,
         counts=counts,
         points=tuple(points),
-        complete=counts["total"] > 0 and counts["done"] == counts["total"],
+        complete=(
+            counts["total"] > 0
+            and counts["done"] + counts["quarantined"] == counts["total"]
+        ),
+        quarantined=tuple(sorted(task_queue.quarantined_ids())),
     )
 
 

@@ -1,18 +1,37 @@
 """Campaign worker processes: lease, simulate, report, heartbeat.
 
 A worker is a plain ``multiprocessing.Process`` running
-:func:`worker_loop`: it pulls :class:`~repro.ensemble.grid.PointTask` items
-from its inbox, executes each replication through the registered backend
-(exactly the code path :mod:`repro.ensemble.runner` uses, so a campaign
-record is bitwise identical to an ensemble record of the same seed), and
-reports ``claim`` / ``done`` messages on the shared outbox.  The ``claim``
-message doubles as the heartbeat: the scheduler stamps the lease deadline
-from it.
+:func:`worker_loop`: it pulls ``(PointTask, attempt)`` items from its inbox,
+executes each replication through the registered backend (exactly the code
+path :mod:`repro.ensemble.runner` uses, so a campaign record is bitwise
+identical to an ensemble record of the same seed), and reports ``claim`` /
+``done`` messages on the shared outbox.  The ``claim`` message doubles as
+the heartbeat: the scheduler stamps the lease deadline from it.
 
 Workers receive only picklable plain data (frozen specs, integer seeds) and
 never open the journal or the record store — all durable writes go through
 the scheduler process, which keeps the on-disk state single-writer and
 crash-consistent.
+
+**Graceful shutdown.**  SIGTERM and SIGINT set a stop flag instead of
+killing the process mid-task: the replication in flight runs to completion
+and is reported, then the worker says ``bye`` and exits cleanly.  The
+scheduler releases any leases a departed worker still held, so a Ctrl-C'd
+campaign resumes without losing (or double-counting) work.
+
+**Fault injection.**  Three hook sites bracket the task lifecycle —
+``worker.claim`` (after dequeue, before the claim message), ``worker.task``
+(before the simulation) and ``worker.done`` (after the simulation, before
+the completion message).  Hook keys are attempt-stamped
+(``"<task_id>#<attempt>"``), so a chaos plan can kill the first attempt of
+a task deterministically while letting its retry through — fault budgets
+(``times=``) live in per-process memory and do not survive the respawn.
+
+**Backend degradation.**  :func:`execute_task` walks the same fallback
+chain as :func:`repro.api.runner.run`: a typed runtime failure (never a
+``SpecError``) degrades to the next capable estimator backend, and the
+record carries ``degraded_from`` so the ensemble JSONL preserves what
+actually ran.
 
 Test hooks (environment variables, inert in production):
 
@@ -28,11 +47,13 @@ Test hooks (environment variables, inert in production):
 from __future__ import annotations
 
 import os
+import queue as queue_module
 import signal
 import time
 from typing import Any, Dict, Optional
 
 from repro.ensemble.grid import PointTask
+from repro.faults import installed_from_env, maybe_fire
 
 __all__ = ["execute_task", "worker_loop"]
 
@@ -50,13 +71,34 @@ def execute_task(task: PointTask) -> Dict[str, Any]:
     derived seed, every scalar metric, wall seconds — plus the task's content
     address, so the record can be routed back to its grid point by readers
     that only see the JSONL store.
+
+    When the task's backend raises a recoverable runtime failure (the QBD
+    bound model turning unstable, a linear solve breaking down) the task
+    degrades along :func:`repro.api.backends.fallback_chain`; the record
+    then carries the backend that actually produced it plus a
+    ``degraded_from`` trail.
     """
-    from repro.api.backends import get_backend
+    from repro.api.backends import fallback_chain, get_backend, recoverable_backend_errors
 
     started = time.perf_counter()
-    metrics = get_backend(task.backend).run_once(task.spec, task.seed)
+    engine = get_backend(task.backend)
+    recoverable = recoverable_backend_errors()
+    degraded = []
+    while True:
+        try:
+            metrics = engine.run_once(task.spec, task.seed)
+            break
+        except recoverable:
+            chain = fallback_chain(task.spec, exclude={engine.name, *degraded})
+            if not chain:
+                raise
+            degraded.append(engine.name)
+            engine = chain[0]
     record: Dict[str, Any] = {"replication": task.replication, "seed": task.seed}
     record.update(metrics)
+    if degraded:
+        record["backend"] = engine.name
+        record["degraded_from"] = ",".join(degraded)
     record["wall_seconds"] = time.perf_counter() - started
     return record
 
@@ -72,30 +114,57 @@ def _test_hooks(worker_id: str):
 
 
 def worker_loop(worker_id: str, inbox, outbox) -> None:
-    """Process tasks until a ``None`` sentinel arrives.
+    """Process tasks until a ``None`` sentinel (or a termination signal).
 
     Parameters
     ----------
     worker_id : str
         Stable name used in lease journal entries and outbox messages.
     inbox : multiprocessing.Queue
-        This worker's private task queue (``PointTask`` items or ``None``).
+        This worker's private task queue (``(PointTask, attempt)`` pairs or
+        ``None``).
     outbox : multiprocessing.Queue
         Shared result queue back to the scheduler.
     """
+    # Re-resolve REPRO_FAULT_PLAN: under a spawn start method the parent's
+    # installed plan is not inherited, and chaos must reach workers too.
+    installed_from_env()
+
+    stopping = []
+
+    def request_stop(signum, frame):  # noqa: ARG001 - signal handler shape
+        stopping.append(signum)
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+
     delay, crash_after = _test_hooks(worker_id)
     executed = 0
     while True:
-        task = inbox.get()
-        if task is None:
+        if stopping:
+            # Graceful exit: the task in flight (if any) already completed
+            # and was reported; leases we still hold are released by the
+            # scheduler when it sees the bye (or reaps the dead process).
             outbox.put((MSG_BYE, worker_id))
             return
+        try:
+            item = inbox.get(timeout=0.2)
+        except queue_module.Empty:
+            continue
+        if item is None:
+            outbox.put((MSG_BYE, worker_id))
+            return
+        task, attempt = item
+        fault_key = f"{task.task_id}#{attempt}"
+        maybe_fire("worker.claim", key=fault_key)
         outbox.put((MSG_CLAIM, worker_id, task.task_id))
         if delay:
             time.sleep(delay)
+        maybe_fire("worker.task", key=fault_key)
         record = execute_task(task)
         executed += 1
         if crash_after is not None and executed >= crash_after:
             # Die the hard way, mid-window: work done, completion unreported.
             os.kill(os.getpid(), signal.SIGKILL)
+        maybe_fire("worker.done", key=fault_key)
         outbox.put((MSG_DONE, worker_id, task.task_id, record))

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import signal
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -275,6 +276,14 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--max-tasks", type=int, default=None,
                               help="stop (durably) after this many task completions; "
                                    "finish later with `campaign resume`")
+    campaign_run.add_argument("--task-timeout", type=float, default=None,
+                              help="per-task wall-clock watchdog in seconds: a worker "
+                                   "silent past this while holding tasks is presumed "
+                                   "hung, killed, and its tasks re-queued (default: off)")
+    campaign_run.add_argument("--quarantine-after", type=int, default=3,
+                              help="a task that kills its worker this many times is "
+                                   "quarantined and the campaign completes degraded "
+                                   "instead of crash-looping")
 
     campaign_status_parser = campaign_commands.add_parser(
         "status", help="read-only progress snapshot of a campaign directory"
@@ -868,6 +877,10 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _raise_keyboard_interrupt(signum, frame):  # noqa: ARG001 - handler shape
+    raise KeyboardInterrupt
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
     from repro.campaigns import (
         CampaignError,
@@ -879,6 +892,12 @@ def _command_campaign(args: argparse.Namespace) -> int:
     from repro.ensemble.grid import GridConfig
 
     directory = Path(args.dir)
+    if args.campaign_command in ("run", "resume"):
+        # SIGTERM (systemd stop, `timeout`, a batch scheduler preemption)
+        # gets the same graceful path as Ctrl-C: the scheduler stops
+        # feeding, workers finish their task in flight, and the campaign
+        # directory is left cleanly resumable.
+        signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
     try:
         if args.campaign_command == "run":
             if (directory / MANIFEST_FILENAME).exists():
@@ -904,6 +923,8 @@ def _command_campaign(args: argparse.Namespace) -> int:
                 target_relative_half_width=args.target_precision,
                 max_replications=args.max_replications,
                 batch_size=args.batch_size,
+                task_timeout_seconds=args.task_timeout,
+                quarantine_after=args.quarantine_after,
                 max_tasks=args.max_tasks,
             )
         elif args.campaign_command == "resume":
@@ -919,6 +940,8 @@ def _command_campaign(args: argparse.Namespace) -> int:
                     "grid_digest": snapshot.grid_digest,
                     "counts": dict(snapshot.counts),
                     "complete": snapshot.complete,
+                    "status": snapshot.status,
+                    "quarantined": list(snapshot.quarantined),
                     "points": [point.summary_row() for point in snapshot.points],
                 }
                 print(f"wrote {write_json(args.json, payload)}")
@@ -930,6 +953,11 @@ def _command_campaign(args: argparse.Namespace) -> int:
         print(
             f"interrupted after {result.executed_tasks} task(s); "
             f"resume with: repro-lb campaign resume --dir {directory}"
+        )
+    elif result.quarantined:
+        print(
+            f"degraded: {len(result.quarantined)} poison task(s) quarantined "
+            f"(details in {directory / 'quarantined.jsonl'})"
         )
     print(f"wall-clock: {result.wall_seconds:.2f}s")
     return 0

@@ -11,6 +11,12 @@ needs to be parsed whole.
 
 No third-party dependency: :mod:`json` for the records, :mod:`subprocess`
 for ``git describe`` (silently degraded to ``None`` outside a git checkout).
+
+Appends are hardened the same way the campaign journal is: each batch is
+wrapped in seeded-backoff retries (:mod:`repro.utils.retry`) so a transient
+I/O error never loses a replication, and every line passes the
+``"records.append"`` fault-injection hook (:mod:`repro.faults`), a no-op
+unless a chaos plan is armed.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.ensemble.runner import EnsembleResult
+from repro.faults import maybe_fire
+from repro.utils.retry import RetryPolicy, retry_call
 
 __all__ = [
     "ResultStore",
@@ -179,14 +187,25 @@ class ResultStore:
         """Append many records in one open/flush/close cycle.
 
         Each record is still written as one whole line, preserving the
-        interleaving-safety of line-wise appends.
+        interleaving-safety of line-wise appends.  Every line is retried
+        under seeded backoff on transient ``OSError`` — whole-line appends
+        are idempotent at worst (a duplicated line, which readers
+        de-duplicate), so re-invoking the write is always safe.
         """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             for record in records:
-                handle.write(json.dumps(record, sort_keys=True, default=_json_default))
-                handle.write("\n")
-            handle.flush()
+                line = (
+                    json.dumps(record, sort_keys=True, default=_json_default) + "\n"
+                )
+                key = f"{record.get('point', '')}:{record.get('replication', '')}"
+
+                def append(line=line, key=key) -> None:
+                    maybe_fire("records.append", key=key, handle=handle, line=line)
+                    handle.write(line)
+                    handle.flush()
+
+                retry_call(append, policy=RetryPolicy(), describe="record append")
 
     def append_ensemble(
         self, result: EnsembleResult, labels: Optional[Dict[str, Any]] = None

@@ -20,6 +20,7 @@ from repro.utils.validation import (
 )
 from repro.utils.tables import format_table, format_series
 from repro.utils.seeding import spawn_rngs
+from repro.utils.retry import RetryExhaustedError, RetryPolicy, retry_call
 
 __all__ = [
     "binomial",
@@ -35,4 +36,7 @@ __all__ = [
     "format_table",
     "format_series",
     "spawn_rngs",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "retry_call",
 ]

@@ -1,0 +1,127 @@
+"""Seeded-jitter exponential backoff for transient I/O failures.
+
+The durable campaign path appends every state transition and every record
+to disk before acting on it — which makes it exactly the code that meets
+transient I/O errors (NFS hiccups, overloaded disks, the injected faults of
+:mod:`repro.faults`) most often.  ``retry_call`` wraps those appends: a
+handful of attempts with exponentially growing, *seeded-jitter* delays, so
+the backoff schedule is deterministic (reproducible logs, reproducible
+chaos tests) while still decorrelating concurrent writers whose seeds
+differ.
+
+Only genuinely transient errors are retried: ``retry_on`` defaults to
+``OSError`` (which :class:`repro.faults.InjectedIOError` subclasses), and a
+:class:`repro.faults.InjectedCrash` — or any non-``OSError`` — passes
+straight through, because retrying a *torn* write would glue a fresh line
+onto the fragment and turn a recoverable tail tear into mid-file
+corruption.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+__all__ = ["RetryExhaustedError", "RetryPolicy", "retry_call"]
+
+T = TypeVar("T")
+
+
+class RetryExhaustedError(RuntimeError):
+    """Every attempt failed; ``__cause__`` carries the final error."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``attempts`` tries, exponential delay with jitter.
+
+    Parameters
+    ----------
+    attempts : int
+        Total tries (the first call counts; ``attempts=4`` retries 3 times).
+    base_delay : float
+        Delay before the first retry, in seconds.
+    factor : float
+        Multiplier between consecutive delays.
+    max_delay : float
+        Ceiling on any single delay.
+    jitter : float
+        Fraction of each delay randomized: the sleep is drawn uniformly
+        from ``[delay * (1 - jitter), delay]``.  Drawn from a generator
+        seeded with ``seed``, so the whole schedule is deterministic.
+    seed : int
+        Jitter seed.  Give concurrent writers different seeds to
+        decorrelate their backoff; replays with the same seed sleep the
+        same amounts.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.005
+    factor: float = 4.0
+    max_delay: float = 0.5
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts!r}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter!r}")
+
+    def delays(self) -> Tuple[float, ...]:
+        """The seeded sleep schedule (``attempts - 1`` entries)."""
+        rng = random.Random(self.seed)
+        schedule = []
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            capped = min(delay, self.max_delay)
+            schedule.append(capped * (1.0 - self.jitter * rng.random()))
+            delay *= self.factor
+        return tuple(schedule)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    describe: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` under ``policy``; raise :class:`RetryExhaustedError` if
+    every attempt fails with a retryable error.
+
+    Parameters
+    ----------
+    fn : callable
+        Zero-argument operation.  It must be safe to re-invoke after a
+        failure (append-one-whole-line writes are; partially applied
+        multi-step operations are not).
+    policy : RetryPolicy, optional
+        Defaults to :class:`RetryPolicy()` — 4 attempts, 5 ms growing to a
+        capped 0.5 s.
+    retry_on : tuple of exception types
+        Errors worth retrying; anything else propagates immediately.
+    describe : str
+        Human label for the exhaustion message (e.g. ``"journal append"``).
+    sleep : callable
+        Injectable for tests; receives each backoff delay in seconds.
+    """
+    policy = policy or RetryPolicy()
+    delays = policy.delays()
+    last: Optional[BaseException] = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as error:  # noqa: PERF203 - retry loop by design
+            last = error
+            if attempt < len(delays):
+                sleep(delays[attempt])
+    raise RetryExhaustedError(
+        f"{describe or 'operation'} failed after {policy.attempts} attempts: {last}"
+    ) from last

@@ -145,11 +145,15 @@ class TestTaskQueue:
             assert queue.lease("w0", 60.0) == "p:0"
             queue.complete("p:0")
             assert queue.lease("w0", 60.0) == "p:1"
-            assert queue.counts() == {"pending": 1, "leased": 1, "done": 1, "total": 3}
+            assert queue.counts() == {
+                "pending": 1, "leased": 1, "done": 1, "quarantined": 0, "total": 3,
+            }
         # Replay: the lease on p:1 is stale (its process is gone) and is
         # reclaimed to the FRONT of the queue.
         with TaskQueue(journal) as queue:
-            assert queue.counts() == {"pending": 2, "leased": 0, "done": 1, "total": 3}
+            assert queue.counts() == {
+                "pending": 2, "leased": 0, "done": 1, "quarantined": 0, "total": 3,
+            }
             assert queue.lease("w1", 60.0) == "p:1"
 
     def test_release_goes_to_front(self, tmp_path):
@@ -273,3 +277,88 @@ class TestTornJsonl:
             handle.write('{"a": 1}\n{"bro\n{"a": 2}\n')
         with pytest.raises(ValueError, match="mid-file"):
             repair_jsonl(path)
+
+
+class TestLeaseClockEdges:
+    """Exact-boundary semantics of lease expiry, heartbeats and reclaim.
+
+    The lease contract is ``deadline < now`` — a lease is stale strictly
+    *after* its TTL, never at the instant of it.  These edges decide whether
+    a slow-but-alive worker gets robbed of a task it is about to finish.
+    """
+
+    def test_lease_at_exact_ttl_boundary_survives(self, tmp_path):
+        with TaskQueue(tmp_path / "j.jsonl") as queue:
+            queue.enqueue(["a"])
+            queue.lease("w0", 10.0, now=1000.0)  # deadline = 1010.0
+            assert queue.reclaim(now=1010.0) == []  # exactly at TTL: alive
+            assert queue.reclaim(now=1010.0 + 1e-6) == ["a"]  # past it: stale
+
+    def test_heartbeat_at_expiry_instant_saves_the_lease(self, tmp_path):
+        with TaskQueue(tmp_path / "j.jsonl") as queue:
+            queue.enqueue(["a"])
+            queue.lease("w0", 10.0, now=1000.0)
+            # The heartbeat lands at the very moment the lease would lapse:
+            # it must win, re-stamping the deadline from *its* clock.
+            queue.heartbeat("w0", 10.0, now=1010.0)
+            assert queue.reclaim(now=1015.0) == []
+            assert queue.lease_of("a") == ("w0", 1020.0)
+            assert queue.reclaim(now=1020.0 + 1e-6) == ["a"]
+
+    def test_heartbeat_extends_every_lease_of_the_worker(self, tmp_path):
+        with TaskQueue(tmp_path / "j.jsonl") as queue:
+            queue.enqueue(["a", "b", "c"])
+            queue.lease("w0", 10.0, now=1000.0)
+            queue.lease("w0", 10.0, now=1005.0)
+            queue.lease("w1", 10.0, now=1000.0)
+            queue.heartbeat("w0", 10.0, now=1009.0)
+            # Both of w0's leases now expire at 1019; w1's still at 1010.
+            assert queue.reclaim(now=1012.0) == ["c"]
+            assert sorted(queue.leased_by("w0")) == ["a", "b"]
+
+    def test_reclaim_then_late_completion_folds_exactly_once(self, tmp_path):
+        """The canonical split-brain race: w0's lease expires mid-task, the
+        task is re-leased to w1, and *then* w0's completion arrives.  Done
+        must win exactly once — on the queue, in the journal, and in the
+        accumulator fold."""
+        journal = tmp_path / "j.jsonl"
+        with TaskQueue(journal) as queue:
+            queue.enqueue(["a", "b"])
+            queue.lease("w0", 10.0, now=1000.0)
+            assert queue.reclaim(now=1011.0) == ["a"]  # w0 presumed dead
+            assert queue.lease("w1", 10.0, now=1011.0) == "a"  # re-leased
+
+            queue.complete("a")  # w0 was alive after all: late completion
+            queue.complete("a")  # ... and w1 finishes the same task later
+            assert queue.is_done("a")
+            assert queue.counts()["done"] == 1
+
+            # Exactly one durable "done" event, despite two completions.
+            events = [
+                json.loads(line)
+                for line in journal.read_text(encoding="utf-8").splitlines()
+            ]
+            assert sum(1 for e in events if e.get("event") == "done") == 1
+
+        # The replayed queue agrees with the live one.
+        with TaskQueue(journal) as queue:
+            assert queue.is_done("a") and queue.counts()["done"] == 1
+            assert queue.lease("w2", 10.0) == "b"  # only the unfinished task
+
+        # And the accumulator folds the record once no matter how many
+        # times the duplicated completion hands it the same replication.
+        accumulator = PointAccumulator()
+        assert accumulator.add(0, {"mean_delay": 2.0}) is True
+        assert accumulator.add(0, {"mean_delay": 2.0}) is False
+        assert accumulator.count == 1
+        assert accumulator.statistics("mean_delay").count == 1
+
+    def test_expired_lease_is_relieved_at_front_of_queue(self, tmp_path):
+        with TaskQueue(tmp_path / "j.jsonl") as queue:
+            queue.enqueue(["a", "b", "c"])
+            assert queue.lease("w0", 10.0, now=1000.0) == "a"
+            queue.reclaim(now=2000.0)
+            # The reclaimed task outranks everything still pending: it was
+            # enqueued before them and its point is the furthest behind.
+            assert queue.lease("w1", 10.0, now=2000.0) == "a"
+            assert queue.lease("w1", 10.0, now=2000.0) == "b"

@@ -23,6 +23,7 @@ def test_docs_tree_exists():
         "architecture.md",
         "campaigns.md",
         "cli.md",
+        "resilience.md",
         "reproducing-the-paper.md",
         "traces.md",
     } <= names
